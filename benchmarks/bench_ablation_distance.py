@@ -1,0 +1,46 @@
+"""Ablation: distance normalization strategy (DESIGN.md §6).
+
+The paper states thresholds as percentages without defining the
+normalization. This ablation compares the default sum normalizer with
+the max normalizer on classification quality.
+"""
+
+import numpy as np
+
+from repro.analysis.cov import weighted_cov
+from repro.core import ClassifierConfig, PhaseClassifier
+from repro.core.distance import max_normalizer, sum_normalizer
+from repro.harness.cache import cached_trace
+
+NAMES = ("bzip2/p", "gcc/s", "mcf")
+
+
+def _run(normalizer, scale):
+    covs, phases = [], []
+    for name in NAMES:
+        trace = cached_trace(name, scale)
+        classifier = PhaseClassifier(
+            ClassifierConfig.paper_default(), normalizer=normalizer
+        )
+        run = classifier.classify_trace(trace)
+        covs.append(weighted_cov(run, trace))
+        phases.append(run.num_phases)
+    return np.mean(covs), np.mean(phases)
+
+
+def test_ablation_distance_normalizer(benchmark, warm_caches):
+    def ablate():
+        return {
+            "sum": _run(sum_normalizer, warm_caches),
+            "max": _run(max_normalizer, warm_caches),
+        }
+
+    results = benchmark.pedantic(ablate, rounds=1, iterations=1)
+    print()
+    for label, (cov, phases) in results.items():
+        print(f"  {label} normalizer: CoV={cov * 100:.1f}% "
+              f"phases={phases:.0f}")
+    # Both normalizations must produce sane classifications.
+    for cov, phases in results.values():
+        assert 0.0 < cov < 0.6
+        assert phases >= 1

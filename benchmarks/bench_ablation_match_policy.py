@@ -1,0 +1,42 @@
+"""Ablation: most-similar vs first-match classification (paper §4.1).
+
+The paper claims choosing the most similar eligible entry improves
+homogeneity over the prior work's first-match policy.
+"""
+
+import numpy as np
+
+from repro.analysis.cov import weighted_cov
+from repro.core import ClassifierConfig, PhaseClassifier
+from repro.harness.cache import cached_trace
+from repro.workloads import BENCHMARK_NAMES
+
+
+def _cov_for(policy, scale):
+    covs = []
+    for name in BENCHMARK_NAMES:
+        trace = cached_trace(name, scale)
+        config = ClassifierConfig(
+            num_counters=16, table_entries=32,
+            similarity_threshold=0.25, min_count_threshold=8,
+            match_policy=policy,
+        )
+        run = PhaseClassifier(config).classify_trace(trace)
+        covs.append(weighted_cov(run, trace))
+    return float(np.mean(covs))
+
+
+def test_ablation_match_policy(benchmark, warm_caches):
+    def ablate():
+        return {
+            "most_similar": _cov_for("most_similar", warm_caches),
+            "first": _cov_for("first", warm_caches),
+        }
+
+    results = benchmark.pedantic(ablate, rounds=1, iterations=1)
+    print()
+    for label, cov in results.items():
+        print(f"  {label}: CoV={cov * 100:.2f}%")
+    # Most-similar should not be worse than first-match by more than
+    # noise (the paper reports it helps homogeneity).
+    assert results["most_similar"] <= results["first"] + 0.02

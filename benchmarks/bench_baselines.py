@@ -1,0 +1,26 @@
+"""Benchmark: related-work baselines (paper §2).
+
+Working-set signature classification (Dhodapkar & Smith) and
+Duesterwald-style CPI value predictors against this paper's mechanisms.
+"""
+
+import numpy as np
+
+from repro.harness.experiment import run_experiment
+
+
+def test_baselines_comparison(benchmark, warm_caches):
+    result = benchmark.pedantic(
+        lambda: run_experiment("baselines", scale=warm_caches),
+        rounds=1, iterations=1,
+    )
+    # Without a transition phase, the working-set detector allocates
+    # more phase IDs on the irregular benchmarks (index 4, 5 = gcc).
+    ours = result.data["ours_phases"]
+    theirs = result.data["working_set_phases"]
+    assert theirs[4] + theirs[5] > ours[4] + ours[5]
+    # All predictors produce sane CPI errors.
+    for series in result.data["mape"].values():
+        assert 0.0 <= np.mean(series) < 60.0
+    print()
+    print(result.rendered)

@@ -1,0 +1,39 @@
+"""Microbenchmarks of the classifier hot paths.
+
+Not a paper figure: these measure the throughput of the structures an
+online implementation would care about — signature formation, table
+search, and whole-interval classification.
+"""
+
+import numpy as np
+
+from repro.core import ClassifierConfig, PhaseClassifier
+from repro.core.distance import relative_distance_matrix
+from repro.workloads import benchmark as make_benchmark
+
+
+def test_signature_formation(benchmark):
+    trace = make_benchmark("gzip/p", scale=0.05)
+    classifier = PhaseClassifier(ClassifierConfig.paper_default())
+    interval = trace[0]
+    signature = benchmark(classifier.signature_for, interval)
+    assert signature.dimensions == 16
+
+
+def test_distance_matrix_32_entries(benchmark):
+    rng = np.random.default_rng(0)
+    matrix = rng.integers(0, 64, size=(32, 16))
+    vector = rng.integers(0, 64, size=16)
+    distances = benchmark(relative_distance_matrix, matrix, vector)
+    assert distances.shape == (32,)
+
+
+def test_classify_trace_throughput(benchmark):
+    trace = make_benchmark("bzip2/p", scale=0.1)
+
+    def classify():
+        classifier = PhaseClassifier(ClassifierConfig.paper_default())
+        return classifier.classify_trace(trace)
+
+    run = benchmark(classify)
+    assert len(run) == len(trace)

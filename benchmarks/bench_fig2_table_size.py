@@ -1,0 +1,22 @@
+"""Benchmark: Figure 2 — CPI CoV and phase counts vs signature-table size.
+
+Regenerates both Figure 2 graphs and asserts the paper's shape: finite
+tables inflate phase counts via replacement, CoV moves only slightly.
+"""
+
+import numpy as np
+
+from repro.harness.experiment import run_experiment
+
+
+def test_fig2_table_size(benchmark, warm_caches):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig2", scale=warm_caches),
+        rounds=1, iterations=1,
+    )
+    phases = result.data["phases"]
+    assert np.mean(phases["16 entry"]) >= np.mean(phases["inf entry"])
+    covs = [np.mean(result.data["cov"][c]) for c in result.data["cov"]]
+    assert max(covs) - min(covs) < 5.0
+    print()
+    print(result.rendered)

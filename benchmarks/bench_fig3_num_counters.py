@@ -1,0 +1,21 @@
+"""Benchmark: Figure 3 — CPI CoV and phase counts vs counters/signature.
+
+Regenerates both Figure 3 graphs and asserts the paper's shape: 8
+counters are insufficient; whole-program CoV dwarfs per-phase CoV.
+"""
+
+import numpy as np
+
+from repro.harness.experiment import run_experiment
+
+
+def test_fig3_num_counters(benchmark, warm_caches):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig3", scale=warm_caches),
+        rounds=1, iterations=1,
+    )
+    cov = result.data["cov"]
+    assert np.mean(cov["8 dim"]) > np.mean(cov["16 dim"])
+    assert np.mean(cov["Whole Program"]) > 4 * np.mean(cov["16 dim"])
+    print()
+    print(result.rendered)

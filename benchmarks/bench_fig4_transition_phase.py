@@ -1,0 +1,27 @@
+"""Benchmark: Figure 4 — the transition phase.
+
+Regenerates all four Figure 4 graphs (CoV, phases, transition time,
+last-value misprediction) and asserts the headline claims: min-count 8
+cuts phase counts from hundreds to tens and reduces mispredictions.
+"""
+
+import numpy as np
+
+from repro.harness.experiment import run_experiment
+
+
+def test_fig4_transition_phase(benchmark, warm_caches):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig4", scale=warm_caches),
+        rounds=1, iterations=1,
+    )
+    phases = result.data["phases"]
+    assert np.mean(phases["12.5% similar+8 min"]) < (
+        np.mean(phases["12.5% similar+0 min"]) / 3
+    )
+    mispredict = result.data["lv_mispredict"]
+    assert np.mean(mispredict["12.5% similar+8 min"]) < np.mean(
+        mispredict["12.5% similar+0 min"]
+    )
+    print()
+    print(result.rendered)

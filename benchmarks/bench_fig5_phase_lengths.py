@@ -1,0 +1,21 @@
+"""Benchmark: Figure 5 — average stable and transition run lengths.
+
+Regenerates the Figure 5 series and asserts that stable runs dominate
+transition runs for nearly every benchmark.
+"""
+
+import numpy as np
+
+from repro.harness.experiment import run_experiment
+
+
+def test_fig5_phase_lengths(benchmark, warm_caches):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig5", scale=warm_caches),
+        rounds=1, iterations=1,
+    )
+    stable = np.array(result.data["stable_mean"])
+    trans = np.array(result.data["transition_mean"])
+    assert (stable > trans).mean() > 0.8
+    print()
+    print(result.rendered)

@@ -1,0 +1,28 @@
+"""Benchmark: Figure 6 — dynamic similarity thresholds.
+
+Regenerates the Figure 6 series and asserts the paper's shape: dynamic
+thresholds reduce CoV versus the static 25% configuration with only a
+modest increase in phase count; mcf benefits most.
+"""
+
+import numpy as np
+
+from repro.harness.experiment import run_experiment
+
+MCF = 8  # index in BENCHMARK_NAMES order
+
+
+def test_fig6_adaptive_thresholds(benchmark, warm_caches):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig6", scale=warm_caches),
+        rounds=1, iterations=1,
+    )
+    cov = result.data["cov"]
+    assert np.mean(cov["25% dyn+25% dev"]) < np.mean(cov["25% static"])
+    assert cov["25% dyn+25% dev"][MCF] < cov["25% static"][MCF]
+    phases = result.data["phases"]
+    assert np.mean(phases["25% dyn+25% dev"]) < (
+        3 * np.mean(phases["25% static"])
+    )
+    print()
+    print(result.rendered)

@@ -1,0 +1,23 @@
+"""Benchmark: Figure 7 — next-interval phase prediction.
+
+Regenerates the Figure 7 stacked bars and asserts the paper's
+conclusions: last value is a strong baseline, confidence trades
+coverage for accuracy, and RLE at least matches Markov.
+"""
+
+from repro.harness.experiment import run_experiment
+
+
+def test_fig7_next_phase(benchmark, warm_caches):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig7", scale=warm_caches),
+        rounds=1, iterations=1,
+    )
+    labels = result.data["labels"]
+    accuracy = dict(zip(labels, result.data["accuracy"]))
+    confident = dict(zip(labels, result.data["confident_accuracy"]))
+    assert 70.0 < accuracy["Last Value"] < 99.5
+    assert confident["Last Value"] >= accuracy["Last Value"]
+    assert accuracy["RLE-2"] >= accuracy["Markov 2"] - 1.0
+    print()
+    print(result.rendered)

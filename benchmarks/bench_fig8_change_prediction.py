@@ -1,0 +1,22 @@
+"""Benchmark: Figure 8 — phase change prediction.
+
+Regenerates the Figure 8 stacked bars and asserts the paper's shape:
+plain predictors catch a minority of changes; Last-4/Top-N variants
+roughly half; Perfect Markov-1 bounds everything via cold-start.
+"""
+
+from repro.harness.experiment import run_experiment
+
+
+def test_fig8_change_prediction(benchmark, warm_caches):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig8", scale=warm_caches),
+        rounds=1, iterations=1,
+    )
+    accuracy = dict(zip(result.data["labels"], result.data["accuracy"]))
+    assert accuracy["Perfect Markov 1"] >= accuracy["Markov 2"] - 2.0
+    assert accuracy["Top 4 Markov 1"] > accuracy["Markov 2"]
+    assert accuracy["Last4 Markov 1"] > accuracy["Markov 2"]
+    assert 20.0 < accuracy["Markov 2"] < 65.0
+    print()
+    print(result.rendered)

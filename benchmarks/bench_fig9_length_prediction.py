@@ -1,0 +1,24 @@
+"""Benchmark: Figure 9 — run-length classes and length prediction.
+
+Regenerates both Figure 9 graphs and asserts the paper's shape: the
+shortest class dominates and the RLE-2 length predictor's misprediction
+rate is low for the change-rich benchmarks.
+"""
+
+import numpy as np
+
+from repro.harness.experiment import run_experiment
+
+GCC_S = 5  # index in BENCHMARK_NAMES order
+
+
+def test_fig9_length_prediction(benchmark, warm_caches):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig9", scale=warm_caches),
+        rounds=1, iterations=1,
+    )
+    shortest = np.array(result.data["class_distribution"]["1-15"])
+    assert shortest.mean() > 50.0
+    assert result.data["misprediction"][GCC_S] < 20.0
+    print()
+    print(result.rendered)

@@ -1,0 +1,26 @@
+"""Benchmark: online classification vs offline SimPoint (paper §4.4).
+
+The paper prefers the 25%+min-8 configuration partly because its CoV
+and phase counts are "comparable to the results of the offline phase
+classification algorithm used in SimPoint".
+"""
+
+import numpy as np
+
+from repro.harness.experiment import run_experiment
+
+
+def test_simpoint_comparison(benchmark, warm_caches):
+    result = benchmark.pedantic(
+        lambda: run_experiment("simpoint", scale=warm_caches),
+        rounds=1, iterations=1,
+    )
+    online = np.array(result.data["online_cov"])
+    offline = np.array(result.data["offline_cov"])
+    # Comparable on average: within a factor of two either way.
+    assert online.mean() < 2.0 * offline.mean() + 5.0
+    assert offline.mean() < 2.0 * online.mean() + 5.0
+    # SimPoint's estimation from a handful of points is accurate.
+    assert np.mean(result.data["estimate_error"]) < 15.0
+    print()
+    print(result.rendered)

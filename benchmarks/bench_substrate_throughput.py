@@ -1,0 +1,42 @@
+"""Microbenchmarks of the workload substrate.
+
+Trace generation and (de)serialization throughput — the costs a
+downstream user pays before any classification happens.
+"""
+
+from pathlib import Path
+
+from repro.workloads import build_benchmark
+from repro.workloads.io import load_trace, save_trace
+
+
+def test_trace_generation_throughput(benchmark):
+    generator = build_benchmark("bzip2/p", scale=0.1)
+    generator.calibrations()  # calibration paid once, outside the loop
+
+    trace = benchmark(generator.generate)
+    assert len(trace) > 50
+
+
+def test_trace_save_load_round_trip(benchmark, tmp_path):
+    trace = build_benchmark("gzip/p", scale=0.1).generate()
+
+    def round_trip():
+        path = save_trace(trace, tmp_path / "bench_trace")
+        return load_trace(path)
+
+    loaded = benchmark(round_trip)
+    assert len(loaded) == len(trace)
+
+
+def test_region_calibration_amortized(benchmark):
+    """Calibration dominates generator setup; measure it end to end."""
+
+    def build_and_calibrate():
+        generator = build_benchmark("ammp", scale=0.05)
+        return generator.calibrations()
+
+    calibrations = benchmark.pedantic(
+        build_and_calibrate, rounds=3, iterations=1
+    )
+    assert len(calibrations) == 3

@@ -1,0 +1,42 @@
+"""Benchmark: Table 1 — the baseline machine model.
+
+Measures region calibration (real cache/branch/TLB simulation) and
+regenerates the Table 1 sanity experiment.
+"""
+
+import numpy as np
+
+from repro.harness.experiment import run_experiment
+from repro.simulator import Machine
+from repro.workloads.basic_block import CodeRegion
+
+
+def test_region_calibration(benchmark):
+    """Cost of calibrating one code region against the machine."""
+    rng = np.random.default_rng(0)
+    region = CodeRegion("bench", rng, num_blocks=32,
+                        working_set_bytes=256 * 1024, pattern="mixed")
+    machine = Machine()
+
+    def calibrate():
+        return machine.calibrate(
+            region.sampled_stream(np.random.default_rng(1), events=4096)
+        )
+
+    calibration = benchmark(calibrate)
+    assert calibration.cpi > 0
+
+
+def test_table1_experiment(benchmark, warm_caches):
+    """Regenerate Table 1 (machine description + per-benchmark CPI)."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("table1", scale=warm_caches),
+        rounds=1, iterations=1,
+    )
+    assert all(low > 0 for low in result.data["cpi_min"])
+    assert all(
+        high >= low
+        for low, high in zip(result.data["cpi_min"], result.data["cpi_max"])
+    )
+    print()
+    print(result.rendered)

@@ -1,0 +1,44 @@
+"""Shared benchmark configuration.
+
+Each ``bench_fig*.py`` module regenerates one table/figure of the paper
+via the experiment harness and asserts its headline shape. Benchmarks
+run at ``BENCH_SCALE`` of the nominal run length so the whole suite
+completes in minutes; pass ``--bench-scale`` to change it.
+
+Traces are generated once per process (the harness trace cache), so the
+first benchmark to touch a benchmark trace pays its generation cost.
+``warm_caches`` pre-pays that cost outside the measured region.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ClassifierConfig
+from repro.harness.cache import cached_classified, cached_trace
+from repro.workloads import BENCHMARK_NAMES
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-scale",
+        action="store",
+        type=float,
+        default=0.3,
+        help="benchmark run-length multiplier (default 0.3)",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_scale(request) -> float:
+    return request.config.getoption("--bench-scale")
+
+
+@pytest.fixture(scope="session")
+def warm_caches(bench_scale):
+    """Generate all traces and the default classification up front."""
+    config = ClassifierConfig.paper_default()
+    for name in BENCHMARK_NAMES:
+        cached_trace(name, bench_scale)
+        cached_classified(name, config, bench_scale)
+    return bench_scale

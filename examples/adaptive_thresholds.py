@@ -1,0 +1,57 @@
+"""Adaptive similarity thresholds in action (paper §4.6, Figure 6).
+
+mcf's dominant region alternates between two CPI sub-modes whose code
+signatures differ by ~18% — under the static 25% similarity threshold
+they lump into one phase with a high CoV of CPI. The adaptive
+classifier watches per-phase CPI, halves the threshold when an
+interval deviates by more than the performance-deviation threshold,
+and thereby splits the phase.
+
+This example classifies mcf and gzip/g under static and dynamic
+thresholds and prints the trade-off: mcf's CoV collapses, gzip/g (no
+sub-modes) is untouched — the paper's Figure 6 story.
+
+Run:  python examples/adaptive_thresholds.py
+"""
+
+from repro.analysis.cov import weighted_cov
+from repro.core import ClassifierConfig, PhaseClassifier
+from repro.workloads import benchmark
+
+CONFIGS = (
+    ("static 25%", dict(similarity_threshold=0.25,
+                        perf_dev_threshold=None)),
+    ("static 12.5%", dict(similarity_threshold=0.125,
+                          perf_dev_threshold=None)),
+    ("dynamic 25% + 25% dev", dict(similarity_threshold=0.25,
+                                   perf_dev_threshold=0.25)),
+)
+
+
+def main() -> None:
+    for name in ("mcf", "gzip/g"):
+        trace = benchmark(name, scale=0.5)
+        print(f"\n{name} ({len(trace)} intervals):")
+        for label, overrides in CONFIGS:
+            config = ClassifierConfig(
+                num_counters=16,
+                table_entries=32,
+                min_count_threshold=8,
+                **overrides,
+            )
+            run = PhaseClassifier(config).classify_trace(trace)
+            cov = weighted_cov(run, trace)
+            print(
+                f"  {label:22s} CoV={cov * 100:5.1f}%  "
+                f"phases={run.num_phases:3d}  "
+                f"transition time={run.transition_fraction * 100:4.1f}%"
+            )
+        print(
+            "  -> the dynamic threshold approaches the 12.5% static CoV "
+            "without the extra phases/transitions a globally tight "
+            "threshold costs programs that do not need it"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Streaming phase tracking with the branch-granularity PhaseTracker.
+
+Everything else in this repository drives the classifier with complete
+interval traces; a deployed system sees one committed branch at a time.
+:class:`repro.core.online.PhaseTracker` is that interface: it detects
+interval boundaries itself, classifies each completed interval, keeps
+the next-phase and length predictors warm, and fires callbacks on
+phase changes.
+
+This example replays a benchmark trace branch-by-branch (as a hardware
+implementation would see it), attaches a phase-change listener, and
+prints a live monitoring log plus end-of-run predictor statistics.
+
+Run:  python examples/online_monitoring.py
+"""
+
+from repro.core import ClassifierConfig, PhaseTracker
+from repro.workloads import benchmark
+
+
+def main() -> None:
+    trace = benchmark("bzip2/g", scale=0.25)
+    tracker = PhaseTracker(
+        ClassifierConfig.paper_default(),
+        interval_instructions=trace.interval_instructions,
+    )
+
+    change_log = []
+
+    def on_change(report):
+        change_log.append(report)
+        if len(change_log) <= 12:
+            length = (
+                f", predicted length class {report.predicted_length_class}"
+                if report.predicted_length_class is not None
+                else ""
+            )
+            print(f"  interval {report.interval_index:4d}: -> phase "
+                  f"{report.phase_id}"
+                  f"{' (transition)' if report.is_transition else ''}"
+                  f"{length}")
+
+    tracker.add_phase_change_listener(on_change)
+
+    print(f"replaying {trace.name}: {len(trace)} intervals, "
+          f"branch by branch\n")
+    correct = confident_used = 0
+    predicted_next = None
+    for interval in trace:
+        for pc, count in zip(interval.branch_pcs, interval.instr_counts):
+            tracker.observe_branch(int(pc), int(count))
+        report = tracker.complete_interval(interval.cpi)
+        if predicted_next is not None:
+            correct += predicted_next == report.phase_id
+            confident_used += 1
+        predicted_next = (
+            report.predicted_next_phase
+            if report.prediction_confident
+            else None
+        )
+
+    print(f"\n{len(change_log)} phase changes observed "
+          f"({'only first 12 shown' if len(change_log) > 12 else 'all shown'})")
+    print(f"intervals tracked: {tracker.intervals_observed}")
+    print(f"confident next-phase predictions: {confident_used} "
+          f"({correct} correct = "
+          f"{correct / max(confident_used, 1):.1%})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Quickstart: classify a program's execution into phases and predict them.
+
+Generates a synthetic gzip-like workload (10M-instruction intervals),
+runs the paper's online phase classifier over it, and drives the
+next-phase predictor — the end-to-end flow of the HPCA 2005 paper.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis.cov import weighted_cov
+from repro.analysis.profile import format_profile_table, profile_phases
+from repro.analysis.phase_stats import phase_length_summary
+from repro.analysis.timeline import render_timeline
+from repro.core import ClassifierConfig, PhaseClassifier
+from repro.prediction import CompositePhasePredictor, RLEChangePredictor
+from repro.workloads import benchmark
+
+
+def main() -> None:
+    # 1. A workload: one of the paper's eleven synthetic SPEC 2000
+    #    models. scale=0.5 halves the run length for a quick demo.
+    trace = benchmark("gzip/p", scale=0.5)
+    print(f"workload: {trace.name}, {len(trace)} intervals of "
+          f"{trace.interval_instructions / 1e6:.0f}M instructions")
+    print(f"whole-program CoV of CPI: "
+          f"{trace.whole_program_cov() * 100:.1f}%")
+
+    # 2. The online classifier with the paper's final configuration:
+    #    16 counters, 6 bits each, 32-entry table, 25% similarity,
+    #    min-count 8, adaptive thresholds at 25% CPI deviation.
+    classifier = PhaseClassifier(ClassifierConfig.paper_default())
+    run = classifier.classify_trace(trace)
+
+    print(f"\nphases found: {run.num_phases}")
+    print(f"intervals in the transition phase: "
+          f"{run.transition_fraction * 100:.1f}%")
+    print(f"weighted per-phase CoV of CPI: "
+          f"{weighted_cov(run, trace) * 100:.1f}%  "
+          f"(classification pays for itself when this is far below the "
+          f"whole-program CoV)")
+
+    print("\nper-phase profiles (top phases by occupancy):")
+    print(format_profile_table(profile_phases(run, trace), count=8))
+
+    print("\nphase timeline (one character per 10M-instruction interval):")
+    print(render_timeline(run.phase_ids, width=72, max_legend_entries=6))
+
+    summary = phase_length_summary(run.phase_ids)
+    print(f"\naverage stable run: {summary.stable_mean:.1f} intervals "
+          f"(dev {summary.stable_std:.1f}); "
+          f"average transition run: {summary.transition_mean:.1f}")
+
+    # 3. Next-phase prediction: RLE-2 change table over a last-value
+    #    backbone, both confidence-gated (paper §5).
+    predictor = CompositePhasePredictor(RLEChangePredictor(2))
+    stats = predictor.run(run.phase_ids)
+    print(f"\nnext-phase prediction: {stats.accuracy * 100:.1f}% accurate"
+          f" overall; {stats.confident_accuracy * 100:.1f}% accurate at "
+          f"{stats.coverage * 100:.1f}% coverage when confidence-gated")
+
+
+if __name__ == "__main__":
+    main()

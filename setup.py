@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All project metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works in offline environments whose pip/setuptools
+cannot build PEP 517 editable wheels (no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,108 @@
+"""Agreement between two interval labelings.
+
+Used to validate classifications against the synthetic workloads'
+ground-truth region labels (which the classifier never sees) and to
+compare the online classifier against the offline SimPoint labeling:
+
+- :func:`purity` — fraction of intervals whose label matches their
+  cluster's majority reference label (1.0 = every cluster is pure).
+- :func:`adjusted_rand_index` — chance-corrected pairwise agreement
+  (1.0 = identical partitions, ~0.0 = random relabeling).
+- :func:`contingency_table` — the underlying cross-tabulation.
+
+Both metrics are label-permutation invariant, which matters because
+phase IDs are arbitrary names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import TraceError
+
+
+def _validate(a: Sequence[int], b: Sequence[int]) -> "Tuple[np.ndarray, np.ndarray]":
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    if a.ndim != 1 or a.shape != b.shape:
+        raise TraceError(
+            f"labelings must be parallel 1-D sequences: {a.shape} vs "
+            f"{b.shape}"
+        )
+    if a.size == 0:
+        raise TraceError("labelings must be non-empty")
+    return a, b
+
+
+def contingency_table(
+    labels: Sequence[int], reference: Sequence[int]
+) -> np.ndarray:
+    """Cross-tabulation: rows = labels, columns = reference labels."""
+    labels, reference = _validate(labels, reference)
+    _, label_index = np.unique(labels, return_inverse=True)
+    _, reference_index = np.unique(reference, return_inverse=True)
+    table = np.zeros(
+        (label_index.max() + 1, reference_index.max() + 1), dtype=np.int64
+    )
+    np.add.at(table, (label_index, reference_index), 1)
+    return table
+
+
+def purity(labels: Sequence[int], reference: Sequence[int]) -> float:
+    """Weighted majority agreement of ``labels`` against ``reference``.
+
+    For each cluster in ``labels``, count its most common reference
+    label; purity is the total over all clusters divided by n.
+    """
+    table = contingency_table(labels, reference)
+    return float(table.max(axis=1).sum() / table.sum())
+
+
+def adjusted_rand_index(
+    labels: Sequence[int], reference: Sequence[int]
+) -> float:
+    """Hubert & Arabie's adjusted Rand index between two partitions."""
+    table = contingency_table(labels, reference)
+    n = table.sum()
+
+    def comb2(x: np.ndarray) -> np.ndarray:
+        return x * (x - 1) / 2.0
+
+    sum_cells = comb2(table).sum()
+    sum_rows = comb2(table.sum(axis=1)).sum()
+    sum_cols = comb2(table.sum(axis=0)).sum()
+    total = comb2(np.array(n))
+    expected = sum_rows * sum_cols / total if total else 0.0
+    maximum = (sum_rows + sum_cols) / 2.0
+    if maximum == expected:
+        # Degenerate partitions (all-one-cluster vs all-one-cluster).
+        return 1.0 if sum_cells == maximum else 0.0
+    return float((sum_cells - expected) / (maximum - expected))
+
+
+def region_agreement(
+    phase_ids: Sequence[int],
+    regions: Sequence[int],
+    ignore_transitions: bool = True,
+) -> Dict[str, float]:
+    """Agreement of a classification with ground-truth region labels.
+
+    ``regions`` uses -1 for ground-truth transition intervals; with
+    ``ignore_transitions`` both ground-truth transitions and intervals
+    classified into the transition phase (ID 0) are excluded, since
+    neither side claims a stable identity for them.
+    """
+    phase_ids, regions = _validate(phase_ids, regions)
+    if ignore_transitions:
+        keep = (regions >= 0) & (phase_ids != 0)
+        if not keep.any():
+            raise TraceError("no stable intervals left to compare")
+        phase_ids = phase_ids[keep]
+        regions = regions[keep]
+    return {
+        "purity": purity(phase_ids, regions),
+        "ari": adjusted_rand_index(phase_ids, regions),
+        "intervals": float(phase_ids.size),
+    }

@@ -1,0 +1,90 @@
+"""Coefficient of Variation of CPI (paper §3.1).
+
+The paper's homogeneity metric: for each phase, the standard deviation
+of the CPI of its intervals divided by their mean. The overall metric
+weights each phase's CoV by the share of execution the phase accounts
+for and sums the weighted CoVs. The transition phase is excluded ("The
+transition phase is not included in the CPI CoV calculations", §4.4);
+weights are therefore shares of *stable* execution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.core.config import TRANSITION_PHASE_ID
+from repro.core.events import ClassificationRun
+from repro.errors import TraceError
+from repro.workloads.trace import IntervalTrace
+
+
+def _check_alignment(run: ClassificationRun, trace: IntervalTrace) -> None:
+    if len(run) != len(trace):
+        raise TraceError(
+            f"classification run covers {len(run)} intervals but the trace "
+            f"has {len(trace)}"
+        )
+
+
+def cov_of(values: np.ndarray) -> float:
+    """Standard deviation divided by mean (population std).
+
+    A single-interval phase has zero deviation by definition.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise TraceError("cannot compute CoV of an empty value set")
+    mean = float(values.mean())
+    if mean == 0.0:
+        raise TraceError("mean is zero; CoV undefined")
+    if values.size == 1:
+        return 0.0
+    return float(values.std()) / mean
+
+
+def per_phase_cov(
+    run: ClassificationRun,
+    trace: IntervalTrace,
+    include_transition: bool = False,
+) -> Dict[int, float]:
+    """CoV of CPI for each phase (keyed by phase ID).
+
+    The transition phase (ID 0) is excluded unless requested.
+    """
+    _check_alignment(run, trace)
+    cpis = trace.cpis
+    result: Dict[int, float] = {}
+    for phase, indices in run.phase_interval_indices().items():
+        if phase == TRANSITION_PHASE_ID and not include_transition:
+            continue
+        result[phase] = cov_of(cpis[indices])
+    return result
+
+
+def weighted_cov(run: ClassificationRun, trace: IntervalTrace) -> float:
+    """The paper's overall CoV: per-phase CoV weighted by execution share.
+
+    Each stable phase's CoV is weighted by the fraction of stable
+    intervals it holds. Returns 0.0 when the run has no stable phase
+    (every interval in transition) — a degenerate but legal outcome for
+    tiny traces.
+    """
+    _check_alignment(run, trace)
+    cpis = trace.cpis
+    groups = run.phase_interval_indices()
+    stable_total = sum(
+        indices.size
+        for phase, indices in groups.items()
+        if phase != TRANSITION_PHASE_ID
+    )
+    if stable_total == 0:
+        return 0.0
+    total = 0.0
+    for phase, indices in groups.items():
+        if phase == TRANSITION_PHASE_ID:
+            continue
+        weight = indices.size / stable_total
+        total += weight * cov_of(cpis[indices])
+    return total

@@ -1,0 +1,162 @@
+"""Hardware storage cost of the phase-tracking architecture.
+
+The paper's structures are meant to be "simple, easily implementable"
+(§4.1) with "only a small fixed amount of storage" — this module makes
+that budget explicit. Costs are in bits of SRAM state, following the
+structure widths the paper gives:
+
+- accumulator table: N counters x 24 bits;
+- signature table: per entry, the compressed signature
+  (N x bits_per_counter), a phase ID, the Min Counter, LRU state, and —
+  for the adaptive classifier — a threshold register plus CPI average
+  and count registers;
+- phase-change table: per entry, a tag, the stored outcome(s), the
+  1-bit confidence, and LRU state;
+- last-value confidence: one 3-bit counter per signature-table entry.
+
+Numbers land in the hundreds of bytes, matching the paper's claim that
+the mechanism is cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import ACCUMULATOR_BITS, ClassifierConfig
+from repro.errors import ConfigurationError
+
+#: Field widths (bits) used across the architecture.
+PHASE_ID_BITS = 8          # up to 255 live phases
+MIN_COUNTER_BITS = 4       # thresholds up to 15
+LRU_BITS_PER_ENTRY = 6     # coarse global LRU position
+THRESHOLD_BITS = 6         # per-entry similarity threshold mantissa
+CPI_AVERAGE_BITS = 16      # fixed-point running CPI
+CPI_COUNT_BITS = 8
+TAG_BITS = 16              # phase-change table tag
+RUN_LENGTH_BITS = 10       # run lengths up to 1023 in RLE keys
+CONFIDENCE_BITS_TABLE = 1
+CONFIDENCE_BITS_LV = 3
+LENGTH_CLASS_BITS = 2
+HYSTERESIS_BITS = 2
+
+
+@dataclass(frozen=True)
+class HardwareBudget:
+    """Bit counts per structure, plus the total."""
+
+    accumulator_bits: int
+    signature_table_bits: int
+    change_table_bits: int
+    confidence_bits: int
+
+    @property
+    def total_bits(self) -> int:
+        return (
+            self.accumulator_bits
+            + self.signature_table_bits
+            + self.change_table_bits
+            + self.confidence_bits
+        )
+
+    @property
+    def total_bytes(self) -> float:
+        return self.total_bits / 8.0
+
+
+def classifier_budget(config: ClassifierConfig) -> HardwareBudget:
+    """Storage bits of the classification architecture under ``config``.
+
+    Infinite-table configurations are rejected — they exist only to
+    model the prior work's idealization and have no hardware cost.
+    """
+    if config.table_entries is None:
+        raise ConfigurationError(
+            "an infinite signature table has no hardware realization"
+        )
+    accumulator = config.num_counters * ACCUMULATOR_BITS
+
+    per_entry = (
+        config.num_counters * config.bits_per_counter
+        + PHASE_ID_BITS
+        + MIN_COUNTER_BITS
+        + LRU_BITS_PER_ENTRY
+    )
+    if config.adaptive:
+        per_entry += THRESHOLD_BITS + CPI_AVERAGE_BITS + CPI_COUNT_BITS
+    signature_table = config.table_entries * per_entry
+
+    confidence = config.table_entries * CONFIDENCE_BITS_LV
+
+    return HardwareBudget(
+        accumulator_bits=accumulator,
+        signature_table_bits=signature_table,
+        change_table_bits=0,
+        confidence_bits=confidence,
+    )
+
+
+def predictor_budget(
+    entries: int = 32,
+    rle_depth: int = 2,
+    outcomes_per_entry: int = 1,
+    length_predictor: bool = False,
+) -> HardwareBudget:
+    """Storage bits of a phase-change (or length) prediction table.
+
+    ``outcomes_per_entry`` is 1 for plain predictors, 4 for the Last-4
+    and Top-4 variants (Top-N additionally needs small frequency
+    counters, charged at 4 bits per outcome).
+    """
+    if entries <= 0:
+        raise ConfigurationError(f"entries must be positive, got {entries}")
+    if rle_depth < 0:
+        raise ConfigurationError(
+            f"rle_depth must be non-negative, got {rle_depth}"
+        )
+    if outcomes_per_entry < 1:
+        raise ConfigurationError(
+            "outcomes_per_entry must be >= 1, got "
+            f"{outcomes_per_entry}"
+        )
+    per_entry = (
+        TAG_BITS
+        + rle_depth * RUN_LENGTH_BITS
+        + outcomes_per_entry * PHASE_ID_BITS
+        + CONFIDENCE_BITS_TABLE
+        + LRU_BITS_PER_ENTRY
+    )
+    if outcomes_per_entry > 1:
+        per_entry += outcomes_per_entry * 4  # Top-N frequency counters
+    if length_predictor:
+        per_entry += LENGTH_CLASS_BITS + HYSTERESIS_BITS
+
+    return HardwareBudget(
+        accumulator_bits=0,
+        signature_table_bits=0,
+        change_table_bits=entries * per_entry,
+        confidence_bits=0,
+    )
+
+
+def full_architecture_budget(
+    config: ClassifierConfig,
+    change_entries: int = 32,
+    with_length_predictor: bool = True,
+) -> HardwareBudget:
+    """The complete architecture: classifier + change + length tables."""
+    classifier = classifier_budget(config)
+    change = predictor_budget(entries=change_entries, rle_depth=2)
+    length = (
+        predictor_budget(
+            entries=change_entries, rle_depth=2, length_predictor=True
+        )
+        if with_length_predictor
+        else HardwareBudget(0, 0, 0, 0)
+    )
+    return HardwareBudget(
+        accumulator_bits=classifier.accumulator_bits,
+        signature_table_bits=classifier.signature_table_bits,
+        change_table_bits=change.change_table_bits
+        + length.change_table_bits,
+        confidence_bits=classifier.confidence_bits,
+    )

@@ -1,0 +1,62 @@
+"""Stable vs transition phase length statistics (paper §4.5, Figure 5).
+
+For a classified stream, computes the average length (in intervals) and
+standard deviation of stable-phase runs and transition-phase runs. For
+good classifications, stable runs are long (with high variability) and
+transition runs are short — "this is ideal, since it indicates that the
+classifier is finding long stable phases".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.runs import extract_runs
+from repro.errors import TraceError
+
+
+@dataclass(frozen=True)
+class PhaseLengthSummary:
+    """Average/std-dev of stable and transition run lengths."""
+
+    stable_mean: float
+    stable_std: float
+    stable_count: int
+    transition_mean: float
+    transition_std: float
+    transition_count: int
+
+    @property
+    def stable_dominates(self) -> bool:
+        """Whether stable runs are on average longer than transitions."""
+        return self.stable_mean > self.transition_mean
+
+
+def phase_length_summary(phase_ids: Sequence[int]) -> PhaseLengthSummary:
+    """Compute Figure 5's statistics from a classified phase stream."""
+    runs = extract_runs(phase_ids)
+    stable = np.array(
+        [r.length for r in runs if not r.is_transition], dtype=np.float64
+    )
+    transition = np.array(
+        [r.length for r in runs if r.is_transition], dtype=np.float64
+    )
+
+    def describe(lengths: np.ndarray) -> "tuple[float, float, int]":
+        if lengths.size == 0:
+            return 0.0, 0.0, 0
+        return float(lengths.mean()), float(lengths.std()), int(lengths.size)
+
+    stable_mean, stable_std, stable_count = describe(stable)
+    trans_mean, trans_std, trans_count = describe(transition)
+    return PhaseLengthSummary(
+        stable_mean=stable_mean,
+        stable_std=stable_std,
+        stable_count=stable_count,
+        transition_mean=trans_mean,
+        transition_std=trans_std,
+        transition_count=trans_count,
+    )

@@ -1,0 +1,126 @@
+"""Per-phase profiles: everything known about each detected phase.
+
+Joins a classification run with its trace into one report per phase:
+occupancy, CPI statistics, run-length statistics, first/last sighting,
+and recurrence count. This is the summary a phase-aware optimizer
+consults when deciding which phases are worth optimizing (long, hot,
+recurrent) — and the natural thing to print after classification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.analysis.runs import extract_runs, runs_by_phase
+from repro.core.config import TRANSITION_PHASE_ID
+from repro.core.events import ClassificationRun
+from repro.errors import TraceError
+from repro.workloads.trace import IntervalTrace
+
+
+@dataclass(frozen=True)
+class PhaseProfile:
+    """Aggregate statistics for one phase."""
+
+    phase_id: int
+    intervals: int
+    occupancy: float
+    cpi_mean: float
+    cpi_std: float
+    cpi_cov: float
+    runs: int
+    mean_run_length: float
+    longest_run: int
+    first_interval: int
+    last_interval: int
+    instructions: int
+
+    @property
+    def is_transition(self) -> bool:
+        return self.phase_id == TRANSITION_PHASE_ID
+
+    @property
+    def recurrent(self) -> bool:
+        """The phase appears in more than one run — the property that
+        makes phase-keyed optimization tables pay off."""
+        return self.runs > 1
+
+
+def profile_phases(
+    run: ClassificationRun, trace: IntervalTrace
+) -> Dict[int, PhaseProfile]:
+    """Build a :class:`PhaseProfile` for every phase in the run."""
+    if len(run) != len(trace):
+        raise TraceError(
+            f"classification run covers {len(run)} intervals but the "
+            f"trace has {len(trace)}"
+        )
+    ids = run.phase_ids
+    cpis = trace.cpis
+    instructions = np.array(
+        [interval.instructions for interval in trace], dtype=np.int64
+    )
+    grouped_runs = runs_by_phase(extract_runs(ids))
+
+    profiles: Dict[int, PhaseProfile] = {}
+    for phase, indices in run.phase_interval_indices().items():
+        phase_cpis = cpis[indices]
+        mean = float(phase_cpis.mean())
+        std = float(phase_cpis.std())
+        phase_runs = grouped_runs.get(phase, [])
+        lengths = [r.length for r in phase_runs]
+        profiles[phase] = PhaseProfile(
+            phase_id=int(phase),
+            intervals=int(indices.size),
+            occupancy=indices.size / len(trace),
+            cpi_mean=mean,
+            cpi_std=std,
+            cpi_cov=std / mean if mean else 0.0,
+            runs=len(phase_runs),
+            mean_run_length=float(np.mean(lengths)) if lengths else 0.0,
+            longest_run=max(lengths) if lengths else 0,
+            first_interval=int(indices.min()),
+            last_interval=int(indices.max()),
+            instructions=int(instructions[indices].sum()),
+        )
+    return profiles
+
+
+def top_phases(
+    profiles: Dict[int, PhaseProfile],
+    count: int = 5,
+    include_transition: bool = False,
+) -> List[PhaseProfile]:
+    """Phases worth optimizing first: highest occupancy, stable first."""
+    candidates = [
+        profile
+        for profile in profiles.values()
+        if include_transition or not profile.is_transition
+    ]
+    return sorted(
+        candidates, key=lambda p: p.occupancy, reverse=True
+    )[:count]
+
+
+def format_profile_table(
+    profiles: Dict[int, PhaseProfile], count: int = 10
+) -> str:
+    """Human-readable per-phase summary table."""
+    header = (
+        f"{'phase':>6} {'ivals':>6} {'occup':>6} {'CPI':>6} {'CoV%':>5} "
+        f"{'runs':>5} {'avg run':>8} {'longest':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    ordered = top_phases(profiles, count=count, include_transition=True)
+    for profile in ordered:
+        label = "trans" if profile.is_transition else str(profile.phase_id)
+        lines.append(
+            f"{label:>6} {profile.intervals:>6} "
+            f"{profile.occupancy:>6.1%} {profile.cpi_mean:>6.2f} "
+            f"{profile.cpi_cov * 100:>5.1f} {profile.runs:>5} "
+            f"{profile.mean_run_length:>8.1f} {profile.longest_run:>8}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Run-length extraction from phase-ID streams.
+
+A *phase run* is a maximal sequence of contiguous intervals classified
+into one phase — the paper's definition of phase length (§4.5, citing
+Dhodapkar & Smith). These utilities convert a classified stream into
+runs and histograms for the Figure 5 and Figure 9 analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.core.config import TRANSITION_PHASE_ID
+from repro.errors import TraceError
+
+
+@dataclass(frozen=True)
+class PhaseRun:
+    """One maximal run: phase, start interval index, length."""
+
+    phase_id: int
+    start: int
+    length: int
+
+    @property
+    def is_transition(self) -> bool:
+        return self.phase_id == TRANSITION_PHASE_ID
+
+    @property
+    def end(self) -> int:
+        """Exclusive end index."""
+        return self.start + self.length
+
+
+def extract_runs(phase_ids: Sequence[int]) -> List[PhaseRun]:
+    """Run-length encode a classified phase stream."""
+    ids = np.asarray(phase_ids, dtype=np.int64)
+    if ids.size == 0:
+        raise TraceError("cannot extract runs from an empty stream")
+    boundaries = np.nonzero(ids[1:] != ids[:-1])[0] + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [ids.size]))
+    return [
+        PhaseRun(phase_id=int(ids[s]), start=int(s), length=int(e - s))
+        for s, e in zip(starts, ends)
+    ]
+
+
+def run_length_histogram(
+    runs: Iterable[PhaseRun], class_bounds: Sequence[int]
+) -> np.ndarray:
+    """Count runs per length class.
+
+    ``class_bounds`` are inclusive lower bounds in ascending order
+    (e.g. ``(1, 16, 128, 1024)`` for the paper's four classes).
+    """
+    bounds = list(class_bounds)
+    if not bounds or bounds != sorted(bounds) or bounds[0] < 1:
+        raise TraceError(
+            f"class_bounds must be ascending and start >= 1, got {bounds}"
+        )
+    counts = np.zeros(len(bounds), dtype=np.int64)
+    for run in runs:
+        for index in range(len(bounds) - 1, -1, -1):
+            if run.length >= bounds[index]:
+                counts[index] += 1
+                break
+    return counts
+
+
+def runs_by_phase(runs: Iterable[PhaseRun]) -> Dict[int, List[PhaseRun]]:
+    """Group runs by their phase ID."""
+    grouped: Dict[int, List[PhaseRun]] = {}
+    for run in runs:
+        grouped.setdefault(run.phase_id, []).append(run)
+    return grouped

@@ -1,0 +1,81 @@
+"""Plain-text table rendering for experiment output.
+
+The harness regenerates the paper's figures as text tables (one row per
+benchmark, one column per configuration/series). This module renders
+them with aligned columns, optional percent formatting, and an average
+row, matching how the paper reports per-benchmark bars plus "avg".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+Number = Union[int, float]
+
+
+def format_value(value: Number, percent: bool = False, digits: int = 1) -> str:
+    """Format one cell: percentages as 'xx.x', counts as integers."""
+    if isinstance(value, bool):  # bool is an int subclass; refuse it
+        raise TypeError("boolean is not a table value")
+    if percent:
+        return f"{value * 100:.{digits}f}"
+    if isinstance(value, int):
+        return str(value)
+    return f"{value:.{digits}f}"
+
+
+def render_table(
+    title: str,
+    row_labels: Sequence[str],
+    columns: "Dict[str, Sequence[Number]]",
+    percent: bool = False,
+    digits: int = 1,
+    average_row: bool = True,
+) -> str:
+    """Render a labelled table as aligned plain text.
+
+    ``columns`` maps column name -> per-row values (parallel with
+    ``row_labels``). When ``average_row`` is set, an ``avg`` row with
+    arithmetic means is appended (the paper's figures all carry one).
+    """
+    for name, values in columns.items():
+        if len(values) != len(row_labels):
+            raise ValueError(
+                f"column {name!r} has {len(values)} values for "
+                f"{len(row_labels)} rows"
+            )
+
+    names = list(columns)
+    rows: List[List[str]] = []
+    for index, label in enumerate(row_labels):
+        rows.append(
+            [label]
+            + [
+                format_value(columns[name][index], percent, digits)
+                for name in names
+            ]
+        )
+    if average_row and row_labels:
+        averages = [
+            sum(columns[name]) / len(row_labels) for name in names
+        ]
+        rows.append(
+            ["avg"]
+            + [format_value(a, percent, digits) for a in averages]
+        )
+
+    header = [""] + names
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in rows))
+        for i in range(len(header))
+    ]
+    lines = [title]
+    lines.append(
+        "  ".join(h.rjust(w) for h, w in zip(header, widths)).rstrip()
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)

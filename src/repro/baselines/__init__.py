@@ -1,0 +1,40 @@
+"""Related-work baselines the paper positions itself against (§2).
+
+- :mod:`repro.baselines.working_set` — Dhodapkar & Smith's working-set
+  signature phase detector: per-interval bit-vector signatures of
+  touched code, relative working-set distance, and a signature table —
+  the main alternative hardware phase detector of the era.
+- :mod:`repro.baselines.metric_prediction` — Duesterwald, Cascaval &
+  Dwarkadas-style statistical predictors that forecast a hardware
+  metric's *value* (CPI here) directly: last value, exponentially
+  weighted moving average, and a history-pattern table. The paper
+  argues phase-ID prediction subsumes these because one phase ID
+  predicts many metrics at once; the ``baselines`` experiment
+  quantifies the comparison.
+"""
+
+from repro.baselines.metric_prediction import (
+    EWMAPredictor,
+    HistoryTablePredictor,
+    LastValueMetricPredictor,
+    MetricPredictionStats,
+    PhaseBasedMetricPredictor,
+    evaluate_metric_predictor,
+)
+from repro.baselines.working_set import (
+    WorkingSetClassifier,
+    WorkingSetConfig,
+    WorkingSetSignature,
+)
+
+__all__ = [
+    "EWMAPredictor",
+    "HistoryTablePredictor",
+    "LastValueMetricPredictor",
+    "MetricPredictionStats",
+    "PhaseBasedMetricPredictor",
+    "WorkingSetClassifier",
+    "WorkingSetConfig",
+    "WorkingSetSignature",
+    "evaluate_metric_predictor",
+]

@@ -1,0 +1,217 @@
+"""Statistical metric-value prediction (Duesterwald et al., PACT 2003).
+
+Instead of predicting a phase *ID*, these predictors forecast the next
+interval's value of a hardware metric (CPI here) directly:
+
+- :class:`LastValueMetricPredictor` — next value = current value.
+- :class:`EWMAPredictor` — exponentially weighted moving average.
+- :class:`HistoryTablePredictor` — a table keyed by the quantized
+  recent value history, predicting the value that followed that
+  pattern before (Duesterwald's cross-metric table predictor, single
+  metric variant).
+- :class:`PhaseBasedMetricPredictor` — the paper's counter-proposal:
+  predict the *phase* of the next interval (last-value phase
+  prediction) and emit that phase's running-average CPI. One phase ID
+  stream serves any number of metrics.
+
+All are evaluated by :func:`evaluate_metric_predictor`, which reports
+mean absolute percentage error (MAPE) over a trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, PredictionError
+
+
+class LastValueMetricPredictor:
+    """Predict the next value equals the current one."""
+
+    def __init__(self) -> None:
+        self._current: Optional[float] = None
+
+    def predict(self) -> Optional[float]:
+        return self._current
+
+    def observe(self, value: float) -> None:
+        self._current = value
+
+
+class EWMAPredictor:
+    """Exponentially weighted moving average prediction.
+
+    ``alpha`` is the weight of the newest observation; alpha = 1 makes
+    this the last-value predictor.
+    """
+
+    def __init__(self, alpha: float = 0.5) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError(
+                f"alpha must be in (0, 1], got {alpha}"
+            )
+        self.alpha = alpha
+        self._average: Optional[float] = None
+
+    def predict(self) -> Optional[float]:
+        return self._average
+
+    def observe(self, value: float) -> None:
+        if self._average is None:
+            self._average = value
+        else:
+            self._average = (
+                self.alpha * value + (1.0 - self.alpha) * self._average
+            )
+
+
+class HistoryTablePredictor:
+    """Table predictor keyed by the quantized recent value history.
+
+    Values are quantized into relative buckets (percent steps) so the
+    key tolerates noise; each table entry remembers the value that
+    followed the pattern last time. Misses fall back to last value.
+    """
+
+    def __init__(
+        self,
+        history: int = 2,
+        bucket_percent: float = 10.0,
+        entries: int = 64,
+    ) -> None:
+        if history < 1:
+            raise ConfigurationError(f"history must be >= 1, got {history}")
+        if bucket_percent <= 0:
+            raise ConfigurationError(
+                f"bucket_percent must be positive, got {bucket_percent}"
+            )
+        if entries < 1:
+            raise ConfigurationError(f"entries must be >= 1, got {entries}")
+        self.history = history
+        self.bucket = bucket_percent / 100.0
+        self.entries = entries
+        self._table: "Dict[Tuple[int, ...], float]" = {}
+        self._order: List[Tuple[int, ...]] = []
+        self._values: List[float] = []
+
+    def _quantize(self, value: float) -> int:
+        return int(round(np.log(max(value, 1e-9)) / self.bucket))
+
+    def _key(self) -> Optional[Tuple[int, ...]]:
+        if len(self._values) < self.history:
+            return None
+        return tuple(
+            self._quantize(v) for v in self._values[-self.history:]
+        )
+
+    def predict(self) -> Optional[float]:
+        key = self._key()
+        if key is not None and key in self._table:
+            return self._table[key]
+        return self._values[-1] if self._values else None
+
+    def observe(self, value: float) -> None:
+        key = self._key()
+        if key is not None:
+            if key not in self._table and len(self._table) >= self.entries:
+                oldest = self._order.pop(0)
+                del self._table[oldest]
+            if key not in self._table:
+                self._order.append(key)
+            self._table[key] = value
+        self._values.append(value)
+        self._values = self._values[-(self.history + 1):]
+
+
+class PhaseBasedMetricPredictor:
+    """Predict the metric through the phase-ID stream (this paper's way).
+
+    Maintains a running-average CPI per phase ID; the prediction for
+    the next interval is the average of the predicted next phase
+    (last-value phase prediction). Driven with *pairs* (phase_id,
+    value) so it can be compared head-to-head with the value-only
+    predictors.
+    """
+
+    def __init__(self) -> None:
+        self._means: Dict[int, float] = {}
+        self._counts: Dict[int, int] = {}
+        self._current_phase: Optional[int] = None
+
+    def predict(self) -> Optional[float]:
+        if self._current_phase is None:
+            return None
+        mean = self._means.get(self._current_phase)
+        return mean
+
+    def observe(self, phase_id: int, value: float) -> None:
+        count = self._counts.get(phase_id, 0) + 1
+        mean = self._means.get(phase_id, 0.0)
+        self._means[phase_id] = mean + (value - mean) / count
+        self._counts[phase_id] = count
+        self._current_phase = phase_id
+
+
+@dataclass
+class MetricPredictionStats:
+    """Prediction-error summary over a metric stream."""
+
+    predictions: int
+    mean_absolute_error: float
+    mape: float
+
+    @property
+    def accuracy_within_10_percent(self) -> Optional[float]:
+        """Set by the evaluator when per-point errors were collected."""
+        return getattr(self, "_within_10", None)
+
+
+def evaluate_metric_predictor(
+    values: Sequence[float],
+    predictor,
+    phase_ids: Optional[Sequence[int]] = None,
+) -> MetricPredictionStats:
+    """Drive a metric predictor over a value stream and score it.
+
+    ``phase_ids`` is required for :class:`PhaseBasedMetricPredictor`
+    (its observe() takes the phase alongside the value).
+    """
+    values = list(values)
+    if len(values) < 2:
+        raise PredictionError("need at least two values to evaluate")
+    phase_based = isinstance(predictor, PhaseBasedMetricPredictor)
+    if phase_based and (
+        phase_ids is None or len(phase_ids) != len(values)
+    ):
+        raise PredictionError(
+            "phase_ids must parallel values for phase-based prediction"
+        )
+
+    errors: List[float] = []
+    relative: List[float] = []
+    within = 0
+    for index, value in enumerate(values):
+        prediction = predictor.predict()
+        if index > 0 and prediction is not None:
+            error = abs(prediction - value)
+            errors.append(error)
+            relative.append(error / max(abs(value), 1e-12))
+            if relative[-1] <= 0.10:
+                within += 1
+        if phase_based:
+            predictor.observe(int(phase_ids[index]), value)
+        else:
+            predictor.observe(value)
+
+    if not errors:
+        raise PredictionError("predictor never produced a prediction")
+    stats = MetricPredictionStats(
+        predictions=len(errors),
+        mean_absolute_error=float(np.mean(errors)),
+        mape=float(np.mean(relative)),
+    )
+    stats._within_10 = within / len(errors)  # type: ignore[attr-defined]
+    return stats

@@ -1,0 +1,203 @@
+"""Working-set signature phase detection (Dhodapkar & Smith).
+
+Dhodapkar & Smith (ISCA 2002, MICRO 2003) detect phases through the
+instruction *working set*: each interval's signature is a bit vector —
+a lossy-hashed set of the code units touched — and two intervals belong
+to the same phase when the *relative working set distance*
+
+    delta(A, B) = |A xor B| / |A or B|
+
+is below a threshold. Compared to the accumulator signatures of
+Sherwood et al. (and this paper), working-set signatures ignore how
+*much* each block executed — only membership counts — which is exactly
+the weakness the comparison experiment exposes on workloads whose
+phases share code but shift its usage mix.
+
+The classifier below mirrors the structure of
+:class:`repro.core.classifier.PhaseClassifier` (signature table with
+LRU, phase IDs) so its output plugs into the same CoV analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.events import ClassificationResult, ClassificationRun
+from repro.errors import ConfigurationError
+from repro.workloads.trace import Interval, IntervalTrace
+
+#: Hash constants shared with the core accumulator (same folding).
+_HASH_MULTIPLIER = np.uint64(2654435761)
+_HASH_MASK = np.uint64(0xFFFF_FFFF)
+
+
+@dataclass(frozen=True)
+class WorkingSetConfig:
+    """Knobs of the working-set phase detector.
+
+    Parameters
+    ----------
+    signature_bits:
+        Bit-vector width (Dhodapkar & Smith used 1024 bits).
+    granularity_bytes:
+        Code bytes folded onto one working-set element before hashing
+        (models their working-set 'units').
+    threshold:
+        Maximum relative working-set distance for two intervals to
+        share a phase (they used ~0.5).
+    table_entries:
+        Signature-table capacity with LRU replacement.
+    """
+
+    signature_bits: int = 1024
+    granularity_bytes: int = 32
+    threshold: float = 0.5
+    table_entries: Optional[int] = 32
+
+    def __post_init__(self) -> None:
+        if self.signature_bits <= 0 or self.signature_bits & (
+            self.signature_bits - 1
+        ):
+            raise ConfigurationError(
+                "signature_bits must be a positive power of two, got "
+                f"{self.signature_bits}"
+            )
+        if self.granularity_bytes <= 0 or self.granularity_bytes & (
+            self.granularity_bytes - 1
+        ):
+            raise ConfigurationError(
+                "granularity_bytes must be a positive power of two, got "
+                f"{self.granularity_bytes}"
+            )
+        if not 0.0 < self.threshold <= 1.0:
+            raise ConfigurationError(
+                f"threshold must be in (0, 1], got {self.threshold}"
+            )
+        if self.table_entries is not None and self.table_entries <= 0:
+            raise ConfigurationError(
+                "table_entries must be positive or None"
+            )
+
+
+class WorkingSetSignature:
+    """A lossy-hashed working set: a fixed-width bit vector."""
+
+    __slots__ = ("bits",)
+
+    def __init__(self, bits: np.ndarray) -> None:
+        bits = np.asarray(bits, dtype=bool)
+        if bits.ndim != 1 or bits.size == 0:
+            raise ConfigurationError("bits must be a non-empty 1-D vector")
+        self.bits = bits
+
+    @classmethod
+    def from_interval(
+        cls, interval: Interval, config: WorkingSetConfig
+    ) -> "WorkingSetSignature":
+        """Hash the interval's touched code units into the bit vector."""
+        shift = config.granularity_bytes.bit_length() - 1
+        units = (
+            np.asarray(interval.branch_pcs, dtype=np.uint64)
+            >> np.uint64(shift)
+        )
+        hashed = (units * _HASH_MULTIPLIER) & _HASH_MASK
+        folded = hashed ^ (hashed >> np.uint64(16))
+        indices = (
+            folded & np.uint64(config.signature_bits - 1)
+        ).astype(np.int64)
+        bits = np.zeros(config.signature_bits, dtype=bool)
+        bits[indices] = True
+        return cls(bits)
+
+    def distance(self, other: "WorkingSetSignature") -> float:
+        """Relative working-set distance: |A xor B| / |A or B|."""
+        if self.bits.shape != other.bits.shape:
+            raise ConfigurationError(
+                "signatures have different widths"
+            )
+        union = int(np.logical_or(self.bits, other.bits).sum())
+        if union == 0:
+            return 0.0
+        difference = int(np.logical_xor(self.bits, other.bits).sum())
+        return difference / union
+
+    @property
+    def population(self) -> int:
+        """Number of set bits (working-set size proxy)."""
+        return int(self.bits.sum())
+
+
+@dataclass
+class _Entry:
+    signature: WorkingSetSignature
+    phase_id: int
+    last_used: int
+
+
+class WorkingSetClassifier:
+    """Phase classification with working-set signatures.
+
+    Emits the same :class:`~repro.core.events.ClassificationRun` as the
+    core classifier so analyses compare like with like. No transition
+    phase or adaptive thresholds — this is the related-work baseline.
+    """
+
+    def __init__(self, config: Optional[WorkingSetConfig] = None) -> None:
+        self.config = config or WorkingSetConfig()
+        self._entries: List[_Entry] = []
+        self._clock = 0
+        self._next_phase = 1
+        self.evictions = 0
+
+    def _tick(self) -> int:
+        self._clock += 1
+        return self._clock
+
+    def classify_interval(self, interval: Interval) -> ClassificationResult:
+        signature = WorkingSetSignature.from_interval(interval, self.config)
+        best: Optional[_Entry] = None
+        best_distance = float("inf")
+        for entry in self._entries:
+            distance = entry.signature.distance(signature)
+            if distance <= self.config.threshold and distance < best_distance:
+                best = entry
+                best_distance = distance
+
+        if best is not None:
+            best.signature = signature
+            best.last_used = self._tick()
+            return ClassificationResult(
+                phase_id=best.phase_id,
+                matched=True,
+                distance=best_distance,
+            )
+
+        capacity = self.config.table_entries
+        if capacity is not None and len(self._entries) >= capacity:
+            victim = min(
+                range(len(self._entries)),
+                key=lambda i: self._entries[i].last_used,
+            )
+            del self._entries[victim]
+            self.evictions += 1
+        entry = _Entry(
+            signature=signature,
+            phase_id=self._next_phase,
+            last_used=self._tick(),
+        )
+        self._next_phase += 1
+        self._entries.append(entry)
+        return ClassificationResult(
+            phase_id=entry.phase_id, matched=False, distance=0.0
+        )
+
+    def classify_trace(self, trace: IntervalTrace) -> ClassificationRun:
+        results = [self.classify_interval(iv) for iv in trace]
+        return ClassificationRun(
+            results=results,
+            num_phases=self._next_phase - 1,
+            evictions=self.evictions,
+        )

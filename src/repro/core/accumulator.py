@@ -1,0 +1,132 @@
+"""The accumulator table: per-interval code-signature collection.
+
+The hardware front-end (paper §4.1 steps 1-2) records each committed
+branch PC together with the number of instructions committed since the
+previous branch; the PC is hashed into one of N saturating counters and
+the counter is incremented by the instruction count. At the end of each
+interval the counters form the interval's raw code signature.
+
+This implementation batches the per-branch updates with ``np.bincount``,
+which is arithmetically identical to the sequential hardware update
+(addition commutes) but orders of magnitude faster in Python.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.core.config import ACCUMULATOR_BITS
+
+#: Knuth's multiplicative hash constant (2^32 / golden ratio).
+_HASH_MULTIPLIER = np.uint64(2654435761)
+_HASH_MASK = np.uint64(0xFFFF_FFFF)
+
+
+def hash_pc(pcs: np.ndarray, num_counters: int) -> np.ndarray:
+    """Hash branch PCs into accumulator indices.
+
+    A multiplicative hash on the word-aligned PC, folded over 16 bits so
+    both halves of the product contribute. Deterministic across runs.
+    """
+    if num_counters <= 0 or num_counters & (num_counters - 1):
+        raise ConfigurationError(
+            f"num_counters must be a positive power of two, got "
+            f"{num_counters}"
+        )
+    words = (np.asarray(pcs, dtype=np.uint64) >> np.uint64(2))
+    hashed = (words * _HASH_MULTIPLIER) & _HASH_MASK
+    folded = hashed ^ (hashed >> np.uint64(16))
+    return (folded & np.uint64(num_counters - 1)).astype(np.int64)
+
+
+class AccumulatorTable:
+    """N saturating counters accumulating instruction counts per hash bucket.
+
+    Parameters
+    ----------
+    num_counters:
+        Number of counters (signature dimensions); power of two.
+    counter_bits:
+        Counter width; 24 bits per the paper (never overflows a 10M
+        instruction interval).
+    """
+
+    def __init__(
+        self, num_counters: int = 16, counter_bits: int = ACCUMULATOR_BITS
+    ) -> None:
+        if num_counters <= 0 or num_counters & (num_counters - 1):
+            raise ConfigurationError(
+                f"num_counters must be a positive power of two, got "
+                f"{num_counters}"
+            )
+        if not 1 <= counter_bits <= 62:
+            raise ConfigurationError(
+                f"counter_bits must be in [1, 62], got {counter_bits}"
+            )
+        self.num_counters = num_counters
+        self.counter_bits = counter_bits
+        self._max_value = (1 << counter_bits) - 1
+        self._counters = np.zeros(num_counters, dtype=np.int64)
+        self._total = 0
+
+    @property
+    def counters(self) -> np.ndarray:
+        """A copy of the current counter values."""
+        return self._counters.copy()
+
+    @property
+    def total_increment(self) -> int:
+        """Sum of all increments this interval (pre-saturation)."""
+        return self._total
+
+    @property
+    def average_counter_value(self) -> int:
+        """Average increment per counter (used by dynamic bit selection).
+
+        Computed as total / N — in hardware a shift, since N is a power
+        of two.
+        """
+        return self._total // self.num_counters
+
+    def update(self, pc: int, instructions: int) -> None:
+        """Record one committed branch (hardware-faithful single update)."""
+        if instructions < 0:
+            raise ValueError(
+                f"instructions must be non-negative, got {instructions}"
+            )
+        index = int(hash_pc(np.array([pc]), self.num_counters)[0])
+        self._counters[index] = min(
+            int(self._counters[index]) + instructions, self._max_value
+        )
+        self._total += instructions
+
+    def update_batch(self, pcs: np.ndarray, instructions: np.ndarray) -> None:
+        """Record a batch of branches (vectorized, addition-equivalent)."""
+        pcs = np.asarray(pcs)
+        instructions = np.asarray(instructions, dtype=np.int64)
+        if pcs.shape != instructions.shape:
+            raise ValueError(
+                "pcs and instructions must be parallel arrays: "
+                f"{pcs.shape} vs {instructions.shape}"
+            )
+        if np.any(instructions < 0):
+            raise ValueError("instruction counts must be non-negative")
+        indices = hash_pc(pcs, self.num_counters)
+        sums = np.bincount(
+            indices, weights=instructions.astype(np.float64),
+            minlength=self.num_counters,
+        ).astype(np.int64)
+        self._counters = np.minimum(self._counters + sums, self._max_value)
+        self._total += int(instructions.sum())
+
+    def clear(self) -> None:
+        """Reset all counters for the next interval."""
+        self._counters.fill(0)
+        self._total = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AccumulatorTable(n={self.num_counters}, "
+            f"bits={self.counter_bits}, total={self._total})"
+        )

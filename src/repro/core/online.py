@@ -1,0 +1,202 @@
+"""Streaming phase tracking: the deployable branch-by-branch interface.
+
+:class:`PhaseTracker` is what an online system (a DVS governor, a
+reconfiguration manager, an OS scheduler) would actually embed: it is
+driven one committed branch at a time, detects interval boundaries
+itself, classifies each completed interval, keeps the next-phase and
+phase-length predictors trained, and notifies registered listeners on
+phase changes.
+
+Typical use::
+
+    tracker = PhaseTracker()
+    tracker.add_phase_change_listener(
+        lambda report: print("now in phase", report.phase_id))
+    ...
+    for pc, instructions in committed_branches:
+        if tracker.observe_branch(pc, instructions):
+            report = tracker.complete_interval(cpi=read_cpi_counter())
+
+The caller supplies the interval's CPI at the boundary (a hardware
+implementation reads cycle/instruction counters); everything else is
+internal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.core.classifier import PhaseClassifier
+from repro.core.config import ClassifierConfig, TRANSITION_PHASE_ID
+from repro.core.events import ClassificationResult
+from repro.core.signature import Signature
+from repro.errors import PredictionError
+from repro.prediction.composite import (
+    CompositePhasePredictor,
+    NextPhasePrediction,
+)
+from repro.prediction.length import PhaseLengthPredictor
+from repro.prediction.rle import RLEChangePredictor
+from repro.workloads.trace import DEFAULT_INTERVAL_INSTRUCTIONS
+
+
+@dataclass(frozen=True)
+class TrackerReport:
+    """Everything the tracker knows at one interval boundary."""
+
+    interval_index: int
+    phase_id: int
+    is_transition: bool
+    phase_changed: bool
+    new_phase_allocated: bool
+    predicted_next_phase: Optional[int]
+    prediction_confident: bool
+    predicted_length_class: Optional[int]
+
+
+#: Listener signature for phase-change notifications.
+PhaseChangeListener = Callable[[TrackerReport], None]
+
+
+class PhaseTracker:
+    """Branch-granularity online phase tracking, prediction included.
+
+    Parameters
+    ----------
+    config:
+        Classifier configuration (paper §5.1 defaults).
+    interval_instructions:
+        Interval length; boundaries are detected when the committed
+        instruction count reaches this (the branch record that crosses
+        the boundary is attributed entirely to the completing interval,
+        as the hardware's queue drain would).
+    change_predictor:
+        Phase-change predictor backing next-phase prediction; defaults
+        to an RLE-2 table. Pass ``None`` for pure last-value.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ClassifierConfig] = None,
+        interval_instructions: int = DEFAULT_INTERVAL_INSTRUCTIONS,
+        change_predictor: "RLEChangePredictor | None | str" = "default",
+    ) -> None:
+        if interval_instructions <= 0:
+            raise PredictionError(
+                "interval_instructions must be positive, got "
+                f"{interval_instructions}"
+            )
+        self.classifier = PhaseClassifier(
+            config or ClassifierConfig.paper_default()
+        )
+        self.interval_instructions = interval_instructions
+        if change_predictor == "default":
+            change_predictor = RLEChangePredictor(2)
+        self.next_phase = CompositePhasePredictor(change_predictor)
+        self.length_predictor = PhaseLengthPredictor()
+        self._instructions = 0
+        self._boundary_pending = False
+        self._interval_index = 0
+        self._previous_phase: Optional[int] = None
+        self._listeners: List[PhaseChangeListener] = []
+
+    # -- wiring ---------------------------------------------------------------
+
+    def add_phase_change_listener(
+        self, listener: PhaseChangeListener
+    ) -> None:
+        """Register a callback fired whenever the phase ID changes."""
+        self._listeners.append(listener)
+
+    # -- the streaming interface ------------------------------------------------
+
+    def observe_branch(self, pc: int, instructions: int) -> bool:
+        """Record one committed branch; returns True at a boundary.
+
+        When True is returned the caller must call
+        :meth:`complete_interval` with the interval's measured CPI
+        before observing further branches.
+        """
+        if self._boundary_pending:
+            raise PredictionError(
+                "interval boundary reached; call complete_interval(cpi) "
+                "before observing more branches"
+            )
+        self.classifier.accumulator.update(pc, instructions)
+        self._instructions += instructions
+        if self._instructions >= self.interval_instructions:
+            self._boundary_pending = True
+        return self._boundary_pending
+
+    def complete_interval(self, cpi: float) -> TrackerReport:
+        """Close the current interval: classify, predict, notify."""
+        if not self._boundary_pending and self._instructions == 0:
+            raise PredictionError("no interval content to complete")
+
+        accumulator = self.classifier.accumulator
+        compressed = self.classifier.bit_selector.compress(
+            accumulator.counters, accumulator.average_counter_value
+        )
+        signature = Signature(
+            compressed, bits=self.classifier.config.bits_per_counter
+        )
+        result: ClassificationResult = self.classifier.classify_signature(
+            signature, cpi
+        )
+        accumulator.clear()
+        self._instructions = 0
+        self._boundary_pending = False
+
+        self.next_phase.step(result.phase_id)
+        self.length_predictor.observe(result.phase_id)
+
+        prediction: Optional[NextPhasePrediction] = None
+        try:
+            prediction = self.next_phase.predict()
+        except PredictionError:  # pragma: no cover - first interval only
+            prediction = None
+
+        phase_changed = (
+            self._previous_phase is not None
+            and result.phase_id != self._previous_phase
+        )
+        report = TrackerReport(
+            interval_index=self._interval_index,
+            phase_id=result.phase_id,
+            is_transition=result.phase_id == TRANSITION_PHASE_ID,
+            phase_changed=phase_changed,
+            new_phase_allocated=result.new_phase_allocated,
+            predicted_next_phase=(
+                prediction.phase_id if prediction is not None else None
+            ),
+            prediction_confident=(
+                prediction.confident if prediction is not None else False
+            ),
+            predicted_length_class=(
+                self.length_predictor.outstanding_prediction
+            ),
+        )
+        self._interval_index += 1
+        self._previous_phase = result.phase_id
+
+        if phase_changed:
+            for listener in self._listeners:
+                listener(report)
+        return report
+
+    # -- inspection ---------------------------------------------------------------
+
+    @property
+    def intervals_observed(self) -> int:
+        return self._interval_index
+
+    @property
+    def current_phase(self) -> Optional[int]:
+        """Phase of the most recently completed interval."""
+        return self._previous_phase
+
+    @property
+    def instructions_into_interval(self) -> int:
+        """Committed instructions since the last boundary."""
+        return self._instructions

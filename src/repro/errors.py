@@ -1,0 +1,43 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch one base class. Configuration
+mistakes raise :class:`ConfigurationError` (a subclass of ``ValueError``
+as well, to honour the principle of least surprise for library users who
+expect bad arguments to raise ``ValueError``).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid configuration value was supplied.
+
+    Raised eagerly at construction time (not at use time) so that a
+    misconfigured experiment fails before any simulation work is done.
+    """
+
+
+class TraceError(ReproError):
+    """A workload trace is malformed or inconsistent.
+
+    For example: an interval trace whose CPI array length disagrees with
+    its branch-record structure, or a trace with zero intervals.
+    """
+
+
+class PredictionError(ReproError):
+    """A predictor was driven incorrectly.
+
+    For example: asking a predictor for statistics before any interval
+    has been observed, or updating with a phase ID that was never
+    predicted against.
+    """
+
+
+class SimulationError(ReproError):
+    """The microarchitecture substrate was driven with invalid inputs."""

@@ -1,0 +1,37 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+Each experiment in :mod:`repro.harness.figures` reproduces one figure of
+the evaluation, printing the same per-benchmark rows/series the paper
+reports. Traces are generated once per process and shared across
+experiments (:mod:`repro.harness.cache`).
+
+Run everything from the command line::
+
+    repro-phases --scale 0.5          # all figures, half-length runs
+    repro-phases fig4 fig8            # selected figures
+
+or programmatically::
+
+    from repro.harness import run_experiment
+    result = run_experiment("fig4", scale=0.5)
+    print(result.rendered)
+"""
+
+from repro.harness.cache import cached_classified, cached_trace, clear_cache
+from repro.harness.experiment import (
+    EXPERIMENT_NAMES,
+    ExperimentResult,
+    run_experiment,
+)
+from repro.harness.sweep import SweepResult, sweep_classifier
+
+__all__ = [
+    "EXPERIMENT_NAMES",
+    "ExperimentResult",
+    "SweepResult",
+    "cached_classified",
+    "cached_trace",
+    "clear_cache",
+    "run_experiment",
+    "sweep_classifier",
+]

@@ -1,0 +1,69 @@
+"""Per-process caches for generated traces and classification runs.
+
+Trace generation (region calibration against the machine model plus
+per-interval sampling) costs a second or two per benchmark; every
+figure needs all eleven benchmarks, so traces are memoized per
+``(benchmark, scale)``. Classification runs are additionally memoized
+per classifier configuration — several figures share configurations.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Optional, Tuple
+
+from repro.core import ClassificationRun, ClassifierConfig, PhaseClassifier
+from repro.workloads import benchmark
+from repro.workloads.trace import IntervalTrace
+
+
+@lru_cache(maxsize=None)
+def cached_trace(name: str, scale: float = 1.0) -> IntervalTrace:
+    """Generate (or return the memoized) trace for a benchmark."""
+    return benchmark(name, scale=scale)
+
+
+def _config_key(config: ClassifierConfig) -> Tuple:
+    return (
+        config.num_counters,
+        config.bits_per_counter,
+        config.table_entries,
+        config.similarity_threshold,
+        config.min_count_threshold,
+        config.match_policy,
+        config.bit_selector,
+        config.static_low_bit,
+        config.perf_dev_threshold,
+    )
+
+
+@lru_cache(maxsize=None)
+def _cached_classified(
+    name: str, scale: float, key: Tuple
+) -> ClassificationRun:
+    config = ClassifierConfig(
+        num_counters=key[0],
+        bits_per_counter=key[1],
+        table_entries=key[2],
+        similarity_threshold=key[3],
+        min_count_threshold=key[4],
+        match_policy=key[5],
+        bit_selector=key[6],
+        static_low_bit=key[7],
+        perf_dev_threshold=key[8],
+    )
+    trace = cached_trace(name, scale)
+    return PhaseClassifier(config).classify_trace(trace)
+
+
+def cached_classified(
+    name: str, config: ClassifierConfig, scale: float = 1.0
+) -> ClassificationRun:
+    """Classify a benchmark under a configuration (memoized)."""
+    return _cached_classified(name, scale, _config_key(config))
+
+
+def clear_cache() -> None:
+    """Drop all memoized traces and classification runs."""
+    cached_trace.cache_clear()
+    _cached_classified.cache_clear()

@@ -1,0 +1,152 @@
+"""Command-line entry point: ``repro-phases``.
+
+Regenerates the paper's tables and figures as plain-text tables::
+
+    repro-phases                     # every experiment at full scale
+    repro-phases fig4 fig8           # a subset
+    repro-phases --scale 0.25 fig2   # quarter-length runs (fast)
+    repro-phases --list              # show available experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from repro.harness.experiment import experiment_names, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-phases",
+        description=(
+            "Reproduce the tables/figures of 'Transition Phase "
+            "Classification and Prediction' (HPCA 2005)."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment names (default: all)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="benchmark run-length multiplier (default 1.0)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list available experiments and exit",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        action="store_true",
+        help="list the synthetic benchmark models and exit",
+    )
+    parser.add_argument(
+        "--classify",
+        metavar="BENCHMARK",
+        default=None,
+        help="classify one benchmark model and print its phase report "
+        "(profiles, timeline, prediction summary) instead of running "
+        "experiments",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write each experiment's raw data as JSON to PATH "
+        "(one object keyed by experiment name)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    available = experiment_names()
+    if args.list:
+        for name in available:
+            print(name)
+        return 0
+    if args.benchmarks:
+        from repro.workloads.spec2000 import BENCHMARK_NAMES, spec
+
+        for name in BENCHMARK_NAMES:
+            descriptor = spec(name)
+            print(f"{name:8s} ~{descriptor.nominal_intervals:5d} intervals"
+                  f"  {descriptor.description}")
+        return 0
+
+    if args.classify is not None:
+        return _classify_report(args.classify, args.scale)
+
+    requested: List[str] = args.experiments or available
+    unknown = [name for name in requested if name not in available]
+    if unknown:
+        print(
+            f"unknown experiment(s): {', '.join(unknown)}; "
+            f"available: {', '.join(available)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    collected = {}
+    for name in requested:
+        start = time.time()
+        result = run_experiment(name, scale=args.scale)
+        print(result.rendered)
+        print(f"[{name} completed in {time.time() - start:.1f}s]\n")
+        collected[name] = {"title": result.title, "data": result.data}
+
+    if args.json is not None:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(collected, handle, indent=2, default=float)
+        print(f"[raw data written to {args.json}]")
+    return 0
+
+
+def _classify_report(name: str, scale: float) -> int:
+    """Classify one benchmark and print the full phase report."""
+    from repro.analysis.cov import weighted_cov
+    from repro.analysis.profile import format_profile_table, profile_phases
+    from repro.analysis.timeline import render_timeline
+    from repro.core import ClassifierConfig, PhaseClassifier
+    from repro.errors import ConfigurationError
+    from repro.prediction import CompositePhasePredictor, RLEChangePredictor
+    from repro.workloads import benchmark
+
+    try:
+        trace = benchmark(name, scale=scale)
+    except ConfigurationError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+    run = PhaseClassifier(
+        ClassifierConfig.paper_default()
+    ).classify_trace(trace)
+    print(f"{name}: {len(trace)} intervals of "
+          f"{trace.interval_instructions / 1e6:.0f}M instructions")
+    print(f"whole-program CoV {trace.whole_program_cov():.1%}  ->  "
+          f"per-phase CoV {weighted_cov(run, trace):.1%} across "
+          f"{run.num_phases} phases "
+          f"({run.transition_fraction:.1%} transition time)\n")
+    print(format_profile_table(profile_phases(run, trace), count=10))
+    print()
+    print(render_timeline(run.phase_ids, width=72, max_legend_entries=6))
+    stats = CompositePhasePredictor(RLEChangePredictor(2)).run(
+        run.phase_ids
+    )
+    print(f"\nnext-phase prediction: {stats.accuracy:.1%} overall, "
+          f"{stats.confident_accuracy:.1%} at {stats.coverage:.1%} "
+          f"coverage when confidence-gated")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

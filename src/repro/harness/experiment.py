@@ -1,0 +1,85 @@
+"""Experiment registry and result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class ExperimentResult:
+    """The output of one figure-reproduction experiment.
+
+    ``tables`` holds rendered plain-text tables; ``data`` holds the raw
+    numbers keyed by series name (used by tests and benchmarks to make
+    assertions about the reproduced shapes).
+    """
+
+    name: str
+    title: str
+    tables: List[str] = field(default_factory=list)
+    data: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def rendered(self) -> str:
+        """All tables joined for display."""
+        header = f"=== {self.name}: {self.title} ==="
+        return "\n\n".join([header] + self.tables)
+
+
+_REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {}
+
+
+def register(name: str) -> Callable:
+    """Decorator registering an experiment function under ``name``."""
+
+    def wrap(func: Callable[..., ExperimentResult]) -> Callable:
+        if name in _REGISTRY:
+            raise ConfigurationError(f"experiment {name!r} already registered")
+        _REGISTRY[name] = func
+        return func
+
+    return wrap
+
+
+def run_experiment(name: str, scale: float = 1.0) -> ExperimentResult:
+    """Run a registered experiment by name."""
+    # Importing figures lazily avoids a circular import at package load
+    # and ensures the registry is populated.
+    from repro.harness import figures  # noqa: F401
+
+    try:
+        func = _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {name!r}; expected one of "
+            f"{sorted(_REGISTRY)}"
+        ) from None
+    return func(scale=scale)
+
+
+def experiment_names() -> List[str]:
+    """All registered experiment names, in registration order."""
+    from repro.harness import figures  # noqa: F401
+
+    return list(_REGISTRY)
+
+
+#: Canonical experiment names (populated on first registry access).
+EXPERIMENT_NAMES = (
+    "table1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "simpoint",
+    "baselines",
+    "hwbudget",
+    "robustness",
+)

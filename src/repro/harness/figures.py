@@ -1,0 +1,902 @@
+"""One experiment per paper table/figure.
+
+Every experiment runs all eleven benchmark models, reproduces the
+figure's series, and returns an :class:`ExperimentResult` whose
+``data`` dictionary carries the raw numbers (used by the test suite and
+benchmark harness to assert the paper's shapes). See DESIGN.md §4 for
+the per-experiment index and shape targets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.cov import weighted_cov
+from repro.analysis.phase_stats import phase_length_summary
+from repro.analysis.prediction_stats import (
+    aggregate_change,
+    aggregate_next_phase,
+)
+from repro.analysis.runs import extract_runs, run_length_histogram
+from repro.analysis.tables import render_table
+from repro.core import ClassifierConfig
+from repro.harness.cache import cached_classified, cached_trace
+from repro.harness.experiment import ExperimentResult, register
+from repro.prediction import (
+    CompositePhasePredictor,
+    MarkovChangePredictor,
+    PerfectMarkovPredictor,
+    PhaseLengthPredictor,
+    RLEChangePredictor,
+    evaluate_change_predictor,
+)
+from repro.prediction.change_eval import CHANGE_CATEGORIES
+from repro.prediction.composite import CATEGORIES as NEXT_CATEGORIES
+from repro.prediction.length import LENGTH_CLASS_LABELS
+from repro.simulator import MachineConfig
+from repro.workloads import BENCHMARK_NAMES
+
+
+def _covs_and_phases(
+    config: ClassifierConfig, scale: float
+) -> "tuple[List[float], List[int], List[float]]":
+    """Per-benchmark weighted CoV, phase count, transition fraction."""
+    covs, phases, transitions = [], [], []
+    for name in BENCHMARK_NAMES:
+        trace = cached_trace(name, scale)
+        run = cached_classified(name, config, scale)
+        covs.append(weighted_cov(run, trace))
+        phases.append(run.num_phases)
+        transitions.append(run.transition_fraction)
+    return covs, phases, transitions
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — the machine model
+# ---------------------------------------------------------------------------
+
+
+@register("table1")
+def table1(scale: float = 1.0) -> ExperimentResult:
+    """Baseline simulation model sanity (paper Table 1).
+
+    Verifies the configured structures match Table 1 and reports the
+    calibrated per-region CPI range of each benchmark — the substrate
+    the CoV metric stands on.
+    """
+    config = MachineConfig.table1()
+    rows = [
+        ("I Cache", f"{config.il1.size_bytes // 1024}k "
+                    f"{config.il1.assoc}-way, {config.il1.block_bytes}B"),
+        ("D Cache", f"{config.dl1.size_bytes // 1024}k "
+                    f"{config.dl1.assoc}-way, {config.dl1.block_bytes}B"),
+        ("L2 Cache", f"{config.l2.size_bytes // 1024}K "
+                     f"{config.l2.assoc}-way, {config.l2.block_bytes}B, "
+                     f"{config.timings.l2_hit_latency} cyc"),
+        ("Main Memory", f"{config.timings.memory_latency} cycle latency"),
+        ("Branch Pred", f"hybrid - {config.gshare_history_bits}-bit gshare "
+                        f"w/ {config.gshare_entries} 2-bit + "
+                        f"{config.bimodal_entries} bimodal"),
+        ("O-O-O Issue", f"{config.timings.issue_width}-wide, "
+                        f"{config.timings.rob_entries} entry ROB"),
+        ("Virtual Mem", f"{config.tlb.page_bytes // 1024}K pages, "
+                        f"{config.tlb.miss_latency_cycles} cycle TLB miss"),
+    ]
+    lines = ["Baseline Simulation Model"]
+    lines += [f"  {k:12s} {v}" for k, v in rows]
+
+    cpi_min: List[float] = []
+    cpi_max: List[float] = []
+    for name in BENCHMARK_NAMES:
+        cpis = cached_trace(name, scale).metadata["region_cpis"]
+        cpi_min.append(min(cpis))
+        cpi_max.append(max(cpis))
+    table = render_table(
+        "Calibrated region CPI range per benchmark",
+        list(BENCHMARK_NAMES),
+        {"min CPI": cpi_min, "max CPI": cpi_max},
+        digits=2,
+    )
+    return ExperimentResult(
+        name="table1",
+        title="Baseline Simulation Model",
+        tables=["\n".join(lines), table],
+        data={"cpi_min": cpi_min, "cpi_max": cpi_max},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 2 — signature table size
+# ---------------------------------------------------------------------------
+
+
+@register("fig2")
+def fig2(scale: float = 1.0) -> ExperimentResult:
+    """CPI CoV and phase counts vs signature-table entries (Figure 2).
+
+    32 counters, 12.5% similarity, no transition phase; table entries
+    16 / 32 / 64 / infinite with LRU replacement. Expected shape: a
+    finite table inflates the number of phases dramatically (signatures
+    lost to replacement); CoV rises slightly with more entries.
+    """
+    sizes: Sequence[Optional[int]] = (16, 32, 64, None)
+    labels = ["16 entry", "32 entry", "64 entry", "inf entry"]
+    cov_columns: Dict[str, List[float]] = {}
+    phase_columns: Dict[str, List[float]] = {}
+    for size, label in zip(sizes, labels):
+        config = ClassifierConfig(
+            num_counters=32,
+            table_entries=size,
+            similarity_threshold=0.125,
+            min_count_threshold=0,
+        )
+        covs, phases, _ = _covs_and_phases(config, scale)
+        cov_columns[label] = [c * 100 for c in covs]
+        phase_columns[label] = phases
+    tables = [
+        render_table(
+            "CPI CoV (%) vs signature table entries",
+            list(BENCHMARK_NAMES), cov_columns,
+        ),
+        render_table(
+            "Number of phases vs signature table entries",
+            list(BENCHMARK_NAMES), phase_columns, digits=0,
+        ),
+    ]
+    return ExperimentResult(
+        name="fig2",
+        title="Signature table size (CoV of CPI, number of phases)",
+        tables=tables,
+        data={"cov": cov_columns, "phases": phase_columns},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 — number of accumulator counters
+# ---------------------------------------------------------------------------
+
+
+@register("fig3")
+def fig3(scale: float = 1.0) -> ExperimentResult:
+    """CPI CoV and phase counts vs counters per signature (Figure 3).
+
+    8 / 16 / 32 / 64 counters, 32-entry table, 12.5% similarity. The
+    'Whole Program' column is the CoV over all intervals with no phase
+    classification at all. Expected shape: 8 counters classify poorly
+    (CoV far above the 16+ configurations); whole-program CoV is many
+    times the per-phase CoV.
+    """
+    dims = (8, 16, 32, 64)
+    cov_columns: Dict[str, List[float]] = {}
+    phase_columns: Dict[str, List[float]] = {}
+    for dim in dims:
+        config = ClassifierConfig(
+            num_counters=dim,
+            table_entries=32,
+            similarity_threshold=0.125,
+            min_count_threshold=0,
+        )
+        covs, phases, _ = _covs_and_phases(config, scale)
+        cov_columns[f"{dim} dim"] = [c * 100 for c in covs]
+        phase_columns[f"{dim} dim"] = phases
+    cov_columns["Whole Program"] = [
+        cached_trace(name, scale).whole_program_cov() * 100
+        for name in BENCHMARK_NAMES
+    ]
+    tables = [
+        render_table(
+            "CPI CoV (%) vs number of signature counters",
+            list(BENCHMARK_NAMES), cov_columns,
+        ),
+        render_table(
+            "Number of phases vs number of signature counters",
+            list(BENCHMARK_NAMES), phase_columns, digits=0,
+        ),
+    ]
+    return ExperimentResult(
+        name="fig3",
+        title="Signature counters / dimensions (CoV of CPI, phases)",
+        tables=tables,
+        data={"cov": cov_columns, "phases": phase_columns},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 — the transition phase
+# ---------------------------------------------------------------------------
+
+_FIG4_CONFIGS = (
+    ("12.5% similar+0 min", 0.125, 0),
+    ("12.5% similar+4 min", 0.125, 4),
+    ("12.5% similar+8 min", 0.125, 8),
+    ("25% similar+4 min", 0.25, 4),
+    ("25% similar+8 min", 0.25, 8),
+)
+
+
+@register("fig4")
+def fig4(scale: float = 1.0) -> ExperimentResult:
+    """Transition-phase evaluation (Figure 4).
+
+    Similarity 12.5% / 25% crossed with min-count 0 / 4 / 8. Four
+    series: CPI CoV, number of phases, % of intervals classified into
+    the transition phase, and the last-value phase misprediction rate.
+    Expected shape: min-count 8 cuts phase counts from hundreds to
+    tens, transition time is modest (gcc worst), and mispredictions
+    drop relative to the min-count-0 baseline.
+    """
+    cov_columns: Dict[str, List[float]] = {}
+    phase_columns: Dict[str, List[float]] = {}
+    transition_columns: Dict[str, List[float]] = {}
+    mispredict_columns: Dict[str, List[float]] = {}
+    for label, threshold, min_count in _FIG4_CONFIGS:
+        config = ClassifierConfig(
+            num_counters=16,
+            table_entries=32,
+            similarity_threshold=threshold,
+            min_count_threshold=min_count,
+        )
+        covs, phases, transitions = _covs_and_phases(config, scale)
+        cov_columns[label] = [c * 100 for c in covs]
+        phase_columns[label] = phases
+        transition_columns[label] = [t * 100 for t in transitions]
+        rates = []
+        for name in BENCHMARK_NAMES:
+            run = cached_classified(name, config, scale)
+            stats = CompositePhasePredictor(None).run(run.phase_ids)
+            rates.append((1.0 - stats.accuracy) * 100)
+        mispredict_columns[label] = rates
+    tables = [
+        render_table("CPI CoV (%)", list(BENCHMARK_NAMES), cov_columns),
+        render_table(
+            "Number of phases", list(BENCHMARK_NAMES), phase_columns,
+            digits=0,
+        ),
+        render_table(
+            "Transition time (%)", list(BENCHMARK_NAMES),
+            transition_columns,
+        ),
+        render_table(
+            "Last-value misprediction rate (%)", list(BENCHMARK_NAMES),
+            mispredict_columns,
+        ),
+    ]
+    return ExperimentResult(
+        name="fig4",
+        title="Stable and transition phases (similarity x min-count)",
+        tables=tables,
+        data={
+            "cov": cov_columns,
+            "phases": phase_columns,
+            "transition_time": transition_columns,
+            "lv_mispredict": mispredict_columns,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 — stable and transition phase lengths
+# ---------------------------------------------------------------------------
+
+
+@register("fig5")
+def fig5(scale: float = 1.0) -> ExperimentResult:
+    """Average stable / transition phase lengths (Figure 5).
+
+    Uses the 25%+min-8 classifier. Expected shape: stable runs are much
+    longer than transition runs for every benchmark, with larger
+    variability; gzip/g and perl/d have exceptionally long stable runs.
+    """
+    config = ClassifierConfig(
+        num_counters=16,
+        table_entries=32,
+        similarity_threshold=0.25,
+        min_count_threshold=8,
+    )
+    stable_mean, stable_std, trans_mean, trans_std = [], [], [], []
+    for name in BENCHMARK_NAMES:
+        run = cached_classified(name, config, scale)
+        summary = phase_length_summary(run.phase_ids)
+        stable_mean.append(summary.stable_mean)
+        stable_std.append(summary.stable_std)
+        trans_mean.append(summary.transition_mean)
+        trans_std.append(summary.transition_std)
+    table = render_table(
+        "Average phase lengths (intervals of 10M instructions)",
+        list(BENCHMARK_NAMES),
+        {
+            "stable": stable_mean,
+            "stable dev": stable_std,
+            "trans": trans_mean,
+            "trans dev": trans_std,
+        },
+    )
+    return ExperimentResult(
+        name="fig5",
+        title="Average stable and transition run lengths",
+        tables=[table],
+        data={
+            "stable_mean": stable_mean,
+            "stable_std": stable_std,
+            "transition_mean": trans_mean,
+            "transition_std": trans_std,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 — adaptive (dynamic) similarity thresholds
+# ---------------------------------------------------------------------------
+
+_FIG6_CONFIGS = (
+    ("25% static", 0.25, None),
+    ("12.5% static", 0.125, None),
+    ("25% dyn+50% dev", 0.25, 0.50),
+    ("25% dyn+25% dev", 0.25, 0.25),
+    ("25% dyn+12.5% dev", 0.25, 0.125),
+)
+
+
+@register("fig6")
+def fig6(scale: float = 1.0) -> ExperimentResult:
+    """Adaptive threshold evaluation (Figure 6).
+
+    Static 25% and 12.5% thresholds vs dynamic thresholds starting at
+    25% with performance-deviation triggers of 50% / 25% / 12.5%.
+    Expected shape: dynamic thresholds lower CoV versus static 25% with
+    only modest increases in phases and transition time; benchmarks
+    with CPI sub-modes (mcf, perl/s) benefit most, while benchmarks
+    like gzip/g and galgel are nearly unaffected.
+    """
+    cov_columns: Dict[str, List[float]] = {}
+    phase_columns: Dict[str, List[float]] = {}
+    transition_columns: Dict[str, List[float]] = {}
+    for label, threshold, deviation in _FIG6_CONFIGS:
+        config = ClassifierConfig(
+            num_counters=16,
+            table_entries=32,
+            similarity_threshold=threshold,
+            min_count_threshold=8,
+            perf_dev_threshold=deviation,
+        )
+        covs, phases, transitions = _covs_and_phases(config, scale)
+        cov_columns[label] = [c * 100 for c in covs]
+        phase_columns[label] = phases
+        transition_columns[label] = [t * 100 for t in transitions]
+    tables = [
+        render_table("CPI CoV (%)", list(BENCHMARK_NAMES), cov_columns),
+        render_table(
+            "Number of phases", list(BENCHMARK_NAMES), phase_columns,
+            digits=0,
+        ),
+        render_table(
+            "Transition time (%)", list(BENCHMARK_NAMES),
+            transition_columns,
+        ),
+    ]
+    return ExperimentResult(
+        name="fig6",
+        title="Dynamic similarity thresholds (phase splitting)",
+        tables=tables,
+        data={
+            "cov": cov_columns,
+            "phases": phase_columns,
+            "transition_time": transition_columns,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 — next phase prediction
+# ---------------------------------------------------------------------------
+
+
+#: The Figure 7 predictor roster: label -> factory (None = last value).
+NEXT_PHASE_ROSTER = {
+    "Last Value": lambda: None,
+    "Markov 1": lambda: MarkovChangePredictor(1),
+    "Markov 2": lambda: MarkovChangePredictor(2),
+    "Last4 Markov 1": lambda: MarkovChangePredictor(1, entry_kind="last4"),
+    "Last4 Markov 2": lambda: MarkovChangePredictor(2, entry_kind="last4"),
+    "Markov 2 No Table Conf": lambda: MarkovChangePredictor(
+        2, use_confidence=False
+    ),
+    "RLE-1": lambda: RLEChangePredictor(1),
+    "RLE-2": lambda: RLEChangePredictor(2),
+    "Last4 RLE-1": lambda: RLEChangePredictor(1, entry_kind="last4"),
+    "Last4 RLE-2": lambda: RLEChangePredictor(2, entry_kind="last4"),
+    "RLE-2 No Conf": lambda: RLEChangePredictor(2, use_confidence=False),
+}
+
+
+@register("fig7")
+def fig7(scale: float = 1.0) -> ExperimentResult:
+    """Next-interval phase prediction (Figure 7).
+
+    The §5.1 classifier feeds each predictor; bars decompose into the
+    paper's six categories. Expected shape: last value is already
+    strong (stable phases dominate); change-table predictors add only a
+    small correct-table segment; confidence trades coverage for
+    accuracy.
+    """
+    config = ClassifierConfig.paper_default()
+    columns: Dict[str, List[float]] = {c: [] for c in NEXT_CATEGORIES}
+    accuracy, conf_accuracy, coverage = [], [], []
+    labels = []
+    per_benchmark_accuracy: Dict[str, List[float]] = {}
+    for label, factory in NEXT_PHASE_ROSTER.items():
+        per_bench = []
+        for name in BENCHMARK_NAMES:
+            run = cached_classified(name, config, scale)
+            predictor = CompositePhasePredictor(factory())
+            per_bench.append(predictor.run(run.phase_ids))
+        per_benchmark_accuracy[label] = [
+            s.accuracy * 100 for s in per_bench
+        ]
+        total = aggregate_next_phase(per_bench)
+        fractions = total.fractions()
+        labels.append(label)
+        for category in NEXT_CATEGORIES:
+            columns[category].append(fractions[category] * 100)
+        accuracy.append(total.accuracy * 100)
+        conf_accuracy.append(total.confident_accuracy * 100)
+        coverage.append(total.coverage * 100)
+
+    table = render_table(
+        "Next phase prediction (% of predictions, all benchmarks)",
+        labels,
+        {**columns, "accuracy": accuracy, "conf acc": conf_accuracy,
+         "coverage": coverage},
+        average_row=False,
+    )
+    per_bench_table = render_table(
+        "Per-benchmark accuracy (%) of key predictors",
+        list(BENCHMARK_NAMES),
+        {
+            label: per_benchmark_accuracy[label]
+            for label in ("Last Value", "Markov 2", "RLE-2")
+        },
+    )
+    return ExperimentResult(
+        name="fig7",
+        title="Next phase prediction",
+        tables=[table, per_bench_table],
+        data={
+            "labels": labels,
+            "categories": {k: v for k, v in columns.items()},
+            "accuracy": accuracy,
+            "confident_accuracy": conf_accuracy,
+            "coverage": coverage,
+            "per_benchmark_accuracy": per_benchmark_accuracy,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 — phase change prediction
+# ---------------------------------------------------------------------------
+
+
+#: The Figure 8 predictor roster: label -> factory.
+CHANGE_ROSTER = {
+    "128 Entry Markov 2": lambda: MarkovChangePredictor(2, entries=128),
+    "Markov 2": lambda: MarkovChangePredictor(2),
+    "Last4 Markov 2": lambda: MarkovChangePredictor(2, entry_kind="last4"),
+    "Last4 Markov 1": lambda: MarkovChangePredictor(1, entry_kind="last4"),
+    "Top 1 Markov 2": lambda: MarkovChangePredictor(2, entry_kind="top1"),
+    "Top 4 Markov 1": lambda: MarkovChangePredictor(1, entry_kind="top4"),
+    "Top 4 Markov 2": lambda: MarkovChangePredictor(2, entry_kind="top4"),
+    "128 Entry RLE-2": lambda: RLEChangePredictor(2, entries=128),
+    "RLE-2": lambda: RLEChangePredictor(2),
+    "Last4 RLE-2": lambda: RLEChangePredictor(2, entry_kind="last4"),
+    "Last4 RLE-1": lambda: RLEChangePredictor(1, entry_kind="last4"),
+    "Top 1 RLE-2": lambda: RLEChangePredictor(2, entry_kind="top1"),
+    "Top 4 RLE-1": lambda: RLEChangePredictor(1, entry_kind="top4"),
+    "Top 4 RLE-2": lambda: RLEChangePredictor(2, entry_kind="top4"),
+    "Perfect Markov 1": lambda: PerfectMarkovPredictor(1),
+    "Perfect Markov 2": lambda: PerfectMarkovPredictor(2),
+}
+
+
+@register("fig8")
+def fig8(scale: float = 1.0) -> ExperimentResult:
+    """Phase change prediction (Figure 8).
+
+    Evaluated over phase-change points only. Expected shape: plain
+    Markov/RLE predict a minority of changes; Last-4/Top-N variants
+    reach roughly half; Perfect Markov-1 bounds everything (cold-start
+    misses only); confidence trims mispredictions at the cost of
+    coverage.
+    """
+    config = ClassifierConfig.paper_default()
+    roster = list(CHANGE_ROSTER)
+    columns: Dict[str, List[float]] = {c: [] for c in CHANGE_CATEGORIES}
+    accuracy = []
+    per_benchmark_accuracy: Dict[str, List[float]] = {}
+    for label in roster:
+        per_bench = []
+        for name in BENCHMARK_NAMES:
+            run = cached_classified(name, config, scale)
+            predictor = CHANGE_ROSTER[label]()
+            per_bench.append(
+                evaluate_change_predictor(run.phase_ids, predictor)
+            )
+        per_benchmark_accuracy[label] = [
+            s.accuracy * 100 for s in per_bench
+        ]
+        total = aggregate_change(per_bench)
+        fractions = total.fractions()
+        for category in CHANGE_CATEGORIES:
+            columns[category].append(fractions[category] * 100)
+        accuracy.append(total.accuracy * 100)
+
+    table = render_table(
+        "Phase change prediction (% of phase changes, all benchmarks)",
+        roster,
+        {**columns, "accuracy": accuracy},
+        average_row=False,
+    )
+    return ExperimentResult(
+        name="fig8",
+        title="Phase change prediction",
+        tables=[table],
+        data={
+            "labels": roster,
+            "categories": columns,
+            "accuracy": accuracy,
+            "per_benchmark_accuracy": per_benchmark_accuracy,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 9 — phase length classes and length prediction
+# ---------------------------------------------------------------------------
+
+
+@register("fig9")
+def fig9(scale: float = 1.0) -> ExperimentResult:
+    """Run-length class distribution and length prediction (Figure 9).
+
+    Left: share of phase runs (all phases, including transition) in
+    each of the four length classes. Right: misprediction rate of the
+    32-entry 4-way RLE-2 length-class predictor with hysteresis.
+    Expected shape: the shortest class dominates for most programs;
+    misprediction rates are low overall.
+    """
+    config = ClassifierConfig.paper_default()
+    class_columns: Dict[str, List[float]] = {
+        label: [] for label in LENGTH_CLASS_LABELS
+    }
+    mispredictions: List[float] = []
+    for name in BENCHMARK_NAMES:
+        run = cached_classified(name, config, scale)
+        runs = extract_runs(run.phase_ids)
+        histogram = run_length_histogram(runs, (1, 16, 128, 1024))
+        total = histogram.sum() or 1
+        for label, count in zip(LENGTH_CLASS_LABELS, histogram):
+            class_columns[label].append(count / total * 100)
+        predictor = PhaseLengthPredictor()
+        for phase_id in run.phase_ids:
+            predictor.observe(int(phase_id))
+        mispredictions.append(predictor.stats.misprediction_rate * 100)
+    tables = [
+        render_table(
+            "Percentage of run lengths per class",
+            list(BENCHMARK_NAMES), class_columns,
+        ),
+        render_table(
+            "Run-length class misprediction rate (%)",
+            list(BENCHMARK_NAMES), {"RLE-2": mispredictions},
+        ),
+    ]
+    return ExperimentResult(
+        name="fig9",
+        title="Phase length classes and length prediction",
+        tables=tables,
+        data={
+            "class_distribution": class_columns,
+            "misprediction": mispredictions,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Extension: online vs SimPoint offline classification (paper §4.4 claim)
+# ---------------------------------------------------------------------------
+
+
+@register("simpoint")
+def simpoint_comparison(scale: float = 1.0) -> ExperimentResult:
+    """Online classifier vs the offline SimPoint algorithm (§4.4).
+
+    The paper prefers the 25% similarity / min-count-8 configuration
+    partly because "the resulting CPI CoV and number of phases produced
+    are comparable to the results of the offline phase classification
+    algorithm used in SimPoint". This experiment quantifies that claim:
+    per benchmark, the weighted CoV and phase count of the online
+    classifier against a from-scratch SimPoint (projected-BBV k-means
+    with BIC model selection), plus SimPoint's whole-program CPI
+    estimation error from its simulation points.
+    """
+    from repro.analysis.cov import cov_of
+    from repro.offline import SimPointClassifier
+
+    config = ClassifierConfig(
+        num_counters=16, table_entries=32,
+        similarity_threshold=0.25, min_count_threshold=8,
+    )
+    online_cov, online_phases = [], []
+    offline_cov, offline_phases, estimate_error = [], [], []
+    for name in BENCHMARK_NAMES:
+        trace = cached_trace(name, scale)
+        run = cached_classified(name, config, scale)
+        online_cov.append(weighted_cov(run, trace) * 100)
+        online_phases.append(run.num_phases)
+
+        classification = SimPointClassifier(max_k=15).classify(trace)
+        cpis = trace.cpis
+        total = 0.0
+        for _, indices in classification.phase_interval_indices().items():
+            total += indices.size / len(trace) * cov_of(cpis[indices])
+        offline_cov.append(total * 100)
+        offline_phases.append(classification.k)
+        estimate = classification.estimate_mean(cpis)
+        estimate_error.append(
+            abs(estimate - float(cpis.mean())) / float(cpis.mean()) * 100
+        )
+
+    tables = [
+        render_table(
+            "CPI CoV (%): online (25%+8 min) vs SimPoint offline",
+            list(BENCHMARK_NAMES),
+            {"online": online_cov, "SimPoint": offline_cov},
+        ),
+        render_table(
+            "Number of phases: online vs SimPoint",
+            list(BENCHMARK_NAMES),
+            {"online": online_phases, "SimPoint": offline_phases},
+            digits=0,
+        ),
+        render_table(
+            "SimPoint whole-program CPI estimation error (%)",
+            list(BENCHMARK_NAMES),
+            {"error": estimate_error},
+        ),
+    ]
+    return ExperimentResult(
+        name="simpoint",
+        title="Online classification vs offline SimPoint",
+        tables=tables,
+        data={
+            "online_cov": online_cov,
+            "offline_cov": offline_cov,
+            "online_phases": online_phases,
+            "offline_phases": offline_phases,
+            "estimate_error": estimate_error,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Extension: related-work baselines (paper §2)
+# ---------------------------------------------------------------------------
+
+
+@register("baselines")
+def baselines_comparison(scale: float = 1.0) -> ExperimentResult:
+    """Code-signature classification and phase-ID metric prediction vs
+    the related-work baselines the paper discusses in §2.
+
+    Left: weighted CPI CoV of this paper's classifier against Dhodapkar
+    & Smith's working-set signature detector. Right: next-interval CPI
+    prediction error (MAPE) of Duesterwald-style value predictors
+    against prediction through the phase-ID stream.
+    """
+    from repro.baselines import (
+        EWMAPredictor,
+        HistoryTablePredictor,
+        LastValueMetricPredictor,
+        PhaseBasedMetricPredictor,
+        WorkingSetClassifier,
+        evaluate_metric_predictor,
+    )
+
+    config = ClassifierConfig(
+        num_counters=16, table_entries=32,
+        similarity_threshold=0.25, min_count_threshold=8,
+    )
+    ours_cov, ws_cov = [], []
+    ours_phases, ws_phases = [], []
+    mape = {"last value": [], "EWMA": [], "history table": [],
+            "phase-based": []}
+    for name in BENCHMARK_NAMES:
+        trace = cached_trace(name, scale)
+        run = cached_classified(name, config, scale)
+        ours_cov.append(weighted_cov(run, trace) * 100)
+        ours_phases.append(run.num_phases)
+
+        ws_run = WorkingSetClassifier().classify_trace(trace)
+        ws_cov.append(weighted_cov(ws_run, trace) * 100)
+        ws_phases.append(ws_run.num_phases)
+
+        cpis = trace.cpis
+        ids = run.phase_ids
+        mape["last value"].append(
+            evaluate_metric_predictor(
+                cpis, LastValueMetricPredictor()
+            ).mape * 100
+        )
+        mape["EWMA"].append(
+            evaluate_metric_predictor(cpis, EWMAPredictor(0.5)).mape * 100
+        )
+        mape["history table"].append(
+            evaluate_metric_predictor(
+                cpis, HistoryTablePredictor()
+            ).mape * 100
+        )
+        mape["phase-based"].append(
+            evaluate_metric_predictor(
+                cpis, PhaseBasedMetricPredictor(), phase_ids=ids
+            ).mape * 100
+        )
+
+    tables = [
+        render_table(
+            "CPI CoV (%): accumulator signatures vs working sets",
+            list(BENCHMARK_NAMES),
+            {"this paper": ours_cov, "working set": ws_cov},
+        ),
+        render_table(
+            "Number of phases",
+            list(BENCHMARK_NAMES),
+            {"this paper": ours_phases, "working set": ws_phases},
+            digits=0,
+        ),
+        render_table(
+            "Next-interval CPI prediction error, MAPE (%)",
+            list(BENCHMARK_NAMES),
+            mape,
+        ),
+    ]
+    return ExperimentResult(
+        name="baselines",
+        title="Related-work baselines (working sets, value prediction)",
+        tables=tables,
+        data={
+            "ours_cov": ours_cov,
+            "working_set_cov": ws_cov,
+            "ours_phases": ours_phases,
+            "working_set_phases": ws_phases,
+            "mape": mape,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Extension: hardware storage budget (the §4.1 implementability claim)
+# ---------------------------------------------------------------------------
+
+
+@register("hwbudget")
+def hardware_budget(scale: float = 1.0) -> ExperimentResult:
+    """SRAM cost of every architecture variant the paper evaluates.
+
+    The paper's premise is that phase tracking needs "only a small
+    fixed amount of storage" (§4.1). This experiment itemizes the bits:
+    the baseline classifier, the final §5.1 configuration with adaptive
+    thresholds, and the full architecture including the phase-change
+    and length prediction tables.
+    """
+    from repro.analysis.hardware import (
+        classifier_budget,
+        full_architecture_budget,
+        predictor_budget,
+    )
+
+    rows = []
+    baseline = ClassifierConfig(
+        num_counters=32, table_entries=32,
+        similarity_threshold=0.125, min_count_threshold=0,
+    )
+    default = ClassifierConfig.paper_default()
+    variants = [
+        ("prior-work baseline (32 ctr)", classifier_budget(baseline)),
+        ("this paper (16 ctr, min-8)", classifier_budget(
+            ClassifierConfig(num_counters=16, table_entries=32,
+                             similarity_threshold=0.25,
+                             min_count_threshold=8))),
+        ("+ adaptive thresholds", classifier_budget(default)),
+        ("change table (32x4, single)", predictor_budget()),
+        ("change table (Top-4)", predictor_budget(outcomes_per_entry=4)),
+        ("length table (RLE-2+hyst)", predictor_budget(
+            length_predictor=True)),
+        ("full architecture", full_architecture_budget(default)),
+    ]
+    labels = [label for label, _ in variants]
+    bits = [budget.total_bits for _, budget in variants]
+    bytes_ = [budget.total_bytes for _, budget in variants]
+    table = render_table(
+        "Hardware storage budget",
+        labels,
+        {"bits": bits, "bytes": bytes_},
+        digits=0,
+        average_row=False,
+    )
+    return ExperimentResult(
+        name="hwbudget",
+        title="Hardware storage budget of the architecture",
+        tables=[table],
+        data={"labels": labels, "bits": bits, "bytes": bytes_},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Extension: robustness of conclusions to workload randomness
+# ---------------------------------------------------------------------------
+
+
+@register("robustness")
+def robustness(scale: float = 1.0, seeds: int = 3) -> ExperimentResult:
+    """Seed sensitivity of the headline results.
+
+    The workloads are synthetic, so every conclusion should survive
+    re-rolling their random structure. This experiment regenerates a
+    subset of benchmarks under several seeds and reports the spread of
+    the three headline metrics (weighted CoV, phase count, transition
+    time) under the 25%+min-8 classifier, plus whether the fig4 claim
+    (min-count 8 slashes phase counts) holds for every seed.
+    """
+    from repro.workloads import benchmark as make_benchmark
+    from repro.core import PhaseClassifier
+
+    names = ("bzip2/g", "gcc/s", "mcf")
+    config = ClassifierConfig(
+        num_counters=16, table_entries=32,
+        similarity_threshold=0.25, min_count_threshold=8,
+    )
+    baseline = ClassifierConfig(
+        num_counters=16, table_entries=32,
+        similarity_threshold=0.125, min_count_threshold=0,
+    )
+
+    rows = []
+    cov_spread, phase_spread, claim_holds = [], [], []
+    for name in names:
+        covs, phases, transitions, claims = [], [], [], []
+        for seed_offset in range(seeds):
+            seed = None if seed_offset == 0 else 9000 + seed_offset
+            trace = make_benchmark(name, scale=scale, seed=seed)
+            run = PhaseClassifier(config).classify_trace(trace)
+            base_run = PhaseClassifier(baseline).classify_trace(trace)
+            covs.append(weighted_cov(run, trace) * 100)
+            phases.append(run.num_phases)
+            transitions.append(run.transition_fraction * 100)
+            claims.append(run.num_phases < base_run.num_phases)
+        rows.append((name, covs, phases, transitions))
+        cov_spread.append(max(covs) - min(covs))
+        phase_spread.append(max(phases) - min(phases))
+        claim_holds.append(all(claims))
+
+    lines = [f"Seed robustness over {seeds} seeds (25%+8 classifier)"]
+    for name, covs, phases, transitions in rows:
+        lines.append(
+            f"  {name:8s} CoV% {min(covs):5.1f}-{max(covs):5.1f}  "
+            f"phases {min(phases):3d}-{max(phases):3d}  "
+            f"transition% {min(transitions):4.1f}-{max(transitions):4.1f}"
+        )
+    lines.append(
+        "  fig4 claim (min-8 < baseline phases) holds for every seed: "
+        + ("yes" if all(claim_holds) else "NO")
+    )
+    return ExperimentResult(
+        name="robustness",
+        title="Robustness of conclusions to workload seeds",
+        tables=["\n".join(lines)],
+        data={
+            "names": list(names),
+            "cov_spread": cov_spread,
+            "phase_spread": phase_spread,
+            "claim_holds": claim_holds,
+        },
+    )

@@ -1,0 +1,162 @@
+"""Generic classifier parameter sweeps.
+
+Figures 2, 3, 4 and 6 are all instances of one shape: vary a
+:class:`~repro.core.config.ClassifierConfig` field across values, run
+all benchmarks, collect metrics. This module is the general form, for
+exploring configurations the paper did not:
+
+    >>> from repro.harness.sweep import sweep_classifier
+    >>> result = sweep_classifier(
+    ...     "similarity_threshold", [0.0625, 0.125, 0.25, 0.5],
+    ...     scale=0.25)
+    >>> print(result.render())
+
+Metrics collected per (value, benchmark): weighted CoV, phase count,
+transition fraction, and last-value misprediction rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.cov import weighted_cov
+from repro.analysis.tables import render_table
+from repro.core.config import ClassifierConfig
+from repro.errors import ConfigurationError
+from repro.harness.cache import cached_classified, cached_trace
+from repro.prediction.composite import CompositePhasePredictor
+from repro.workloads import BENCHMARK_NAMES
+
+#: Metrics the sweep can collect, with printable labels.
+METRICS = {
+    "cov": "CoV of CPI (%)",
+    "phases": "number of phases",
+    "transition": "transition time (%)",
+    "lv_mispredict": "last-value misprediction (%)",
+}
+
+
+@dataclass
+class SweepResult:
+    """Metrics for every (swept value, benchmark) pair.
+
+    ``data[metric][value]`` is a per-benchmark list in
+    :data:`~repro.workloads.BENCHMARK_NAMES` order.
+    """
+
+    field_name: str
+    values: List[object]
+    benchmarks: List[str]
+    data: Dict[str, Dict[object, List[float]]] = field(
+        default_factory=dict
+    )
+
+    def averages(self, metric: str) -> Dict[object, float]:
+        """Mean of ``metric`` across benchmarks, per swept value."""
+        if metric not in self.data:
+            raise ConfigurationError(
+                f"metric {metric!r} was not collected; available: "
+                f"{sorted(self.data)}"
+            )
+        return {
+            value: float(np.mean(series))
+            for value, series in self.data[metric].items()
+        }
+
+    def best_value(self, metric: str, minimize: bool = True) -> object:
+        """The swept value with the best benchmark-average metric."""
+        averages = self.averages(metric)
+        chooser = min if minimize else max
+        return chooser(averages, key=averages.get)
+
+    def render(self, metric: str = "cov") -> str:
+        """One table: benchmarks x swept values for a metric."""
+        if metric not in self.data:
+            raise ConfigurationError(
+                f"metric {metric!r} was not collected; available: "
+                f"{sorted(self.data)}"
+            )
+        columns = {
+            f"{self.field_name}={value}": self.data[metric][value]
+            for value in self.values
+        }
+        return render_table(
+            METRICS.get(metric, metric), self.benchmarks, columns
+        )
+
+
+def sweep_classifier(
+    field_name: str,
+    values: Sequence[object],
+    base: Optional[ClassifierConfig] = None,
+    metrics: Sequence[str] = ("cov", "phases", "transition",
+                              "lv_mispredict"),
+    benchmarks: Optional[Sequence[str]] = None,
+    scale: float = 1.0,
+) -> SweepResult:
+    """Sweep one ``ClassifierConfig`` field over ``values``.
+
+    Parameters
+    ----------
+    field_name:
+        Any :class:`ClassifierConfig` field (e.g.
+        ``"similarity_threshold"``, ``"min_count_threshold"``,
+        ``"num_counters"``, ``"table_entries"``).
+    values:
+        Values to sweep; each must produce a valid configuration.
+    base:
+        Configuration the sweep perturbs (defaults to the paper's
+        §5.1 configuration without adaptive thresholds, so single-field
+        effects are not confounded).
+    metrics / benchmarks / scale:
+        What to collect, where, and at which run length.
+    """
+    if not values:
+        raise ConfigurationError("values must be non-empty")
+    unknown = [m for m in metrics if m not in METRICS]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown metrics {unknown}; available: {sorted(METRICS)}"
+        )
+    if base is None:
+        base = ClassifierConfig(
+            num_counters=16, table_entries=32,
+            similarity_threshold=0.25, min_count_threshold=8,
+        )
+    if not hasattr(base, field_name):
+        raise ConfigurationError(
+            f"ClassifierConfig has no field {field_name!r}"
+        )
+    names = list(benchmarks or BENCHMARK_NAMES)
+
+    result = SweepResult(
+        field_name=field_name,
+        values=list(values),
+        benchmarks=names,
+        data={metric: {} for metric in metrics},
+    )
+    for value in values:
+        config = replace(base, **{field_name: value})
+        collected: Dict[str, List[float]] = {m: [] for m in metrics}
+        for name in names:
+            trace = cached_trace(name, scale)
+            run = cached_classified(name, config, scale)
+            if "cov" in metrics:
+                collected["cov"].append(weighted_cov(run, trace) * 100)
+            if "phases" in metrics:
+                collected["phases"].append(float(run.num_phases))
+            if "transition" in metrics:
+                collected["transition"].append(
+                    run.transition_fraction * 100
+                )
+            if "lv_mispredict" in metrics:
+                stats = CompositePhasePredictor(None).run(run.phase_ids)
+                collected["lv_mispredict"].append(
+                    (1.0 - stats.accuracy) * 100
+                )
+        for metric in metrics:
+            result.data[metric][value] = collected[metric]
+    return result

@@ -1,0 +1,41 @@
+"""Offline phase classification: the SimPoint comparator.
+
+The paper validates its online classifier by comparing against the
+offline SimPoint algorithm (§4.4: the 25% similarity / min-count-8
+configuration "produced [results] comparable to the results of the
+offline phase classification algorithm used in SimPoint"). This package
+implements that comparator from scratch, following Sherwood et al.
+(ASPLOS 2002) and Perelman et al. (PACT 2003):
+
+- :mod:`repro.offline.bbv` — per-interval Basic Block Vectors and
+  random projection to a low-dimensional space (15 dims in SimPoint).
+- :mod:`repro.offline.kmeans` — k-means with k-means++ seeding and
+  multiple restarts (no external ML dependency).
+- :mod:`repro.offline.bic` — the Bayesian Information Criterion score
+  used to pick the number of clusters.
+- :mod:`repro.offline.simpoint` — the full pipeline: project, cluster
+  for k = 1..max_k, choose the smallest k whose BIC clears a threshold
+  of the best score, and select one *simulation point* (representative
+  interval) per phase with its weight.
+"""
+
+from repro.offline.bbv import BBVMatrix, build_bbv_matrix, random_projection
+from repro.offline.kmeans import KMeansResult, kmeans
+from repro.offline.bic import bic_score
+from repro.offline.simpoint import (
+    SimPoint,
+    SimPointClassification,
+    SimPointClassifier,
+)
+
+__all__ = [
+    "BBVMatrix",
+    "KMeansResult",
+    "SimPoint",
+    "SimPointClassification",
+    "SimPointClassifier",
+    "bic_score",
+    "build_bbv_matrix",
+    "kmeans",
+    "random_projection",
+]

@@ -1,0 +1,88 @@
+"""Bayesian Information Criterion for choosing k (SimPoint's rule).
+
+SimPoint scores each k-means clustering with the BIC of a spherical
+Gaussian mixture fitted to the clusters (Pelleg & Moore's X-means
+formulation) and picks the smallest k whose score reaches a fixed
+fraction of the best score over all k. Higher BIC is better; the
+log-likelihood term rewards tight clusters, the penalty term charges
+``p/2 * log(n)`` for the parameters of each added cluster.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.offline.kmeans import KMeansResult
+
+
+def bic_score(data: np.ndarray, clustering: KMeansResult) -> float:
+    """BIC of a clustering under the spherical-Gaussian model.
+
+    Returns ``-inf`` is never produced; degenerate zero-variance
+    clusterings (every point on its centroid) get the maximal
+    likelihood allowed by a small variance floor.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise ConfigurationError("data must be 2-D")
+    n, dims = data.shape
+    k = clustering.k
+    if clustering.labels.shape[0] != n:
+        raise ConfigurationError(
+            "clustering labels do not match the data points"
+        )
+    if n <= k:
+        # No degrees of freedom left for a variance estimate.
+        return float("-inf")
+
+    # Pooled ML variance estimate (spherical), floored for degeneracy.
+    variance = clustering.inertia / (dims * (n - k))
+    variance = max(variance, 1e-12)
+
+    sizes = clustering.cluster_sizes()
+    log_likelihood = 0.0
+    for cluster in range(k):
+        size = int(sizes[cluster])
+        if size == 0:
+            continue
+        log_likelihood += (
+            size * np.log(size / n)
+            - size * dims / 2.0 * np.log(2.0 * np.pi * variance)
+        )
+    log_likelihood -= (n - k) * dims / 2.0
+
+    # Free parameters: k-1 mixing weights, k*dims means, one variance.
+    parameters = (k - 1) + k * dims + 1
+    return float(log_likelihood - parameters / 2.0 * np.log(n))
+
+
+def pick_k_by_bic(
+    scores: "list[float]", ks: "list[int]", threshold: float = 0.9
+) -> int:
+    """SimPoint's rule: the smallest k whose BIC clears the threshold.
+
+    Scores are shifted to be non-negative before applying the
+    fractional threshold (BIC values are typically negative).
+    """
+    if len(scores) != len(ks) or not scores:
+        raise ConfigurationError("scores and ks must be parallel, non-empty")
+    if not 0.0 < threshold <= 1.0:
+        raise ConfigurationError(
+            f"threshold must be in (0, 1], got {threshold}"
+        )
+    finite = [s for s in scores if np.isfinite(s)]
+    if not finite:
+        return ks[0]
+    low = min(finite)
+    high = max(finite)
+    if high == low:
+        return ks[int(np.argmax(scores))] if len(ks) == 1 else min(
+            k for s, k in zip(scores, ks) if np.isfinite(s)
+        )
+    for score, k in zip(scores, ks):
+        if not np.isfinite(score):
+            continue
+        if (score - low) / (high - low) >= threshold:
+            return k
+    return ks[int(np.argmax(scores))]

@@ -1,0 +1,136 @@
+"""k-means clustering with k-means++ seeding and restarts.
+
+Self-contained (no external ML dependency): Lloyd's algorithm with
+k-means++ initialization, several random restarts, and empty-cluster
+repair (an empty cluster is re-seeded on the point farthest from its
+centroid). Distances are Euclidean, as in SimPoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class KMeansResult:
+    """One clustering: labels, centroids, and the within-cluster SSE."""
+
+    labels: np.ndarray
+    centroids: np.ndarray
+    inertia: float
+
+    @property
+    def k(self) -> int:
+        return int(self.centroids.shape[0])
+
+    def cluster_sizes(self) -> np.ndarray:
+        return np.bincount(self.labels, minlength=self.k)
+
+
+def _plusplus_init(
+    data: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids by D^2 sampling."""
+    n = data.shape[0]
+    centroids = np.empty((k, data.shape[1]), dtype=np.float64)
+    first = int(rng.integers(n))
+    centroids[0] = data[first]
+    distances = ((data - centroids[0]) ** 2).sum(axis=1)
+    for index in range(1, k):
+        total = distances.sum()
+        if total <= 0:
+            # All remaining points coincide with a centroid; pick any.
+            choice = int(rng.integers(n))
+        else:
+            choice = int(rng.choice(n, p=distances / total))
+        centroids[index] = data[choice]
+        new_d = ((data - centroids[index]) ** 2).sum(axis=1)
+        np.minimum(distances, new_d, out=distances)
+    return centroids
+
+
+def _lloyd(
+    data: np.ndarray,
+    centroids: np.ndarray,
+    max_iterations: int,
+    tolerance: float,
+) -> KMeansResult:
+    k = centroids.shape[0]
+    labels = np.zeros(data.shape[0], dtype=np.int64)
+    for _ in range(max_iterations):
+        # Assign.
+        distances = (
+            ((data[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        )
+        labels = distances.argmin(axis=1)
+        # Update.
+        new_centroids = centroids.copy()
+        for cluster in range(k):
+            members = data[labels == cluster]
+            if members.shape[0] == 0:
+                # Re-seed the empty cluster on the farthest point.
+                farthest = int(
+                    distances[np.arange(len(labels)), labels].argmax()
+                )
+                new_centroids[cluster] = data[farthest]
+            else:
+                new_centroids[cluster] = members.mean(axis=0)
+        shift = float(np.abs(new_centroids - centroids).max())
+        centroids = new_centroids
+        if shift <= tolerance:
+            break
+    distances = (
+        ((data[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+    )
+    labels = distances.argmin(axis=1)
+    inertia = float(distances[np.arange(len(labels)), labels].sum())
+    return KMeansResult(labels=labels, centroids=centroids, inertia=inertia)
+
+
+def kmeans(
+    data: np.ndarray,
+    k: int,
+    seed: int = 0,
+    restarts: int = 5,
+    max_iterations: int = 100,
+    tolerance: float = 1e-7,
+) -> KMeansResult:
+    """Cluster ``data`` into ``k`` groups; returns the best restart.
+
+    Parameters
+    ----------
+    data:
+        (points x dims) array.
+    k:
+        Number of clusters; must not exceed the number of points.
+    restarts:
+        Independent k-means++ initializations; the lowest-inertia
+        clustering wins.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2 or data.shape[0] == 0:
+        raise ConfigurationError("data must be a non-empty 2-D array")
+    if not 1 <= k <= data.shape[0]:
+        raise ConfigurationError(
+            f"k must be in [1, {data.shape[0]}], got {k}"
+        )
+    if restarts < 1:
+        raise ConfigurationError(f"restarts must be >= 1, got {restarts}")
+    if max_iterations < 1:
+        raise ConfigurationError(
+            f"max_iterations must be >= 1, got {max_iterations}"
+        )
+
+    rng = np.random.default_rng(seed)
+    best: "KMeansResult | None" = None
+    for _ in range(restarts):
+        centroids = _plusplus_init(data, k, rng)
+        result = _lloyd(data, centroids, max_iterations, tolerance)
+        if best is None or result.inertia < best.inertia:
+            best = result
+    assert best is not None
+    return best

@@ -1,0 +1,193 @@
+"""The SimPoint offline phase classifier and simulation-point picker.
+
+Pipeline (Sherwood et al. ASPLOS 2002, Perelman et al. PACT 2003):
+
+1. collect per-interval Basic Block Vectors;
+2. randomly project to ~15 dimensions;
+3. run k-means for k = 1..max_k (k-means++ with restarts);
+4. score each k with the BIC and keep the smallest k reaching 90% of
+   the best score;
+5. per cluster, the interval closest to the centroid is the phase's
+   *simulation point*; its weight is the cluster's share of intervals.
+
+The classification assigns a phase label to every interval — the
+offline analogue of the online classifier's phase IDs — and the
+simulation points estimate whole-program metrics from a handful of
+simulated intervals (SimPoint's raison d'être).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigurationError, TraceError
+from repro.offline.bbv import build_bbv_matrix, random_projection
+from repro.offline.bic import bic_score, pick_k_by_bic
+from repro.offline.kmeans import KMeansResult, kmeans
+from repro.workloads.trace import IntervalTrace
+
+
+@dataclass(frozen=True)
+class SimPoint:
+    """One simulation point: a representative interval and its weight."""
+
+    interval_index: int
+    phase: int
+    weight: float
+
+
+@dataclass
+class SimPointClassification:
+    """The result of an offline classification."""
+
+    labels: np.ndarray
+    k: int
+    simulation_points: List[SimPoint]
+    bic_scores: List[float] = field(default_factory=list)
+
+    @property
+    def num_intervals(self) -> int:
+        return int(self.labels.shape[0])
+
+    def phase_interval_indices(self) -> "dict[int, np.ndarray]":
+        return {
+            int(phase): np.nonzero(self.labels == phase)[0]
+            for phase in np.unique(self.labels)
+        }
+
+    def estimate_mean(self, values: np.ndarray) -> float:
+        """SimPoint's estimator: weighted sum over simulation points.
+
+        ``values`` is a per-interval metric (e.g. CPI); the estimate is
+        the sum of each point's value times its phase weight — what you
+        would get by simulating only the chosen points.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape[0] != self.num_intervals:
+            raise TraceError(
+                "values length does not match the classified intervals"
+            )
+        return float(
+            sum(
+                point.weight * values[point.interval_index]
+                for point in self.simulation_points
+            )
+        )
+
+
+class SimPointClassifier:
+    """Offline phase classification via projected BBV clustering.
+
+    Parameters
+    ----------
+    max_k:
+        Largest cluster count tried (SimPoint used 10 for simulation
+        point selection).
+    dimensions:
+        Random-projection target dimensionality (15 in SimPoint).
+    bic_threshold:
+        Fraction of the best BIC a smaller k must reach to be chosen.
+    seed / restarts:
+        Clustering reproducibility and quality knobs.
+    early_points:
+        Choose *early* simulation points (the earliest interval whose
+        centroid distance is within 30% of the best) instead of the
+        absolute closest — Perelman et al.'s variant that minimizes
+        simulator fast-forwarding.
+    """
+
+    def __init__(
+        self,
+        max_k: int = 10,
+        dimensions: int = 15,
+        bic_threshold: float = 0.9,
+        seed: int = 0,
+        restarts: int = 5,
+        early_points: bool = False,
+    ) -> None:
+        if max_k < 1:
+            raise ConfigurationError(f"max_k must be >= 1, got {max_k}")
+        self.max_k = max_k
+        self.dimensions = dimensions
+        self.bic_threshold = bic_threshold
+        self.seed = seed
+        self.restarts = restarts
+        self.early_points = early_points
+
+    def classify(self, trace: IntervalTrace) -> SimPointClassification:
+        """Cluster a whole trace into phases and pick simulation points."""
+        bbv = build_bbv_matrix(trace)
+        projected = random_projection(
+            bbv.matrix, dimensions=self.dimensions, seed=self.seed
+        )
+
+        max_k = min(self.max_k, projected.shape[0])
+        ks = list(range(1, max_k + 1))
+        clusterings: List[KMeansResult] = []
+        scores: List[float] = []
+        for k in ks:
+            clustering = kmeans(
+                projected, k, seed=self.seed + k, restarts=self.restarts
+            )
+            clusterings.append(clustering)
+            scores.append(bic_score(projected, clustering))
+
+        chosen_k = pick_k_by_bic(scores, ks, threshold=self.bic_threshold)
+        chosen = clusterings[ks.index(chosen_k)]
+
+        points = self._simulation_points(
+            projected, chosen, early=self.early_points
+        )
+        return SimPointClassification(
+            labels=chosen.labels,
+            k=chosen.k,
+            simulation_points=points,
+            bic_scores=scores,
+        )
+
+    @staticmethod
+    def _simulation_points(
+        data: np.ndarray,
+        clustering: KMeansResult,
+        early: bool = False,
+        early_tolerance: float = 1.3,
+    ) -> List[SimPoint]:
+        """Pick one representative interval per cluster.
+
+        Standard SimPoint takes the interval closest to the centroid.
+        With ``early`` (Perelman et al., PACT 2003: "early and
+        statistically valid simulation points"), the *earliest*
+        interval whose centroid distance is within ``early_tolerance``
+        of the closest one is chosen instead — early points let a
+        simulator fast-forward less before reaching them.
+        """
+        points: List[SimPoint] = []
+        n = data.shape[0]
+        for cluster in range(clustering.k):
+            members = np.nonzero(clustering.labels == cluster)[0]
+            if members.size == 0:
+                continue
+            distances = np.sqrt(
+                (
+                    (data[members] - clustering.centroids[cluster]) ** 2
+                ).sum(axis=1)
+            )
+            closest = float(distances.min())
+            if early:
+                eligible = members[
+                    distances <= closest * early_tolerance + 1e-12
+                ]
+                representative = int(eligible.min())
+            else:
+                representative = int(members[int(distances.argmin())])
+            points.append(
+                SimPoint(
+                    interval_index=representative,
+                    phase=cluster,
+                    weight=members.size / n,
+                )
+            )
+        return points

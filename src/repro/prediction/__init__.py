@@ -1,0 +1,61 @@
+"""Phase predictors (paper §5 and §6).
+
+Next-phase prediction predicts the phase ID of the next interval of
+execution; phase-change prediction predicts the outcome of the next
+phase change, whenever it may occur; phase-length prediction predicts
+the run-length *class* of the next phase.
+
+- :mod:`repro.prediction.counters` — saturating / confidence counters.
+- :mod:`repro.prediction.assoc_table` — the 32-entry 4-way set
+  associative prediction table with per-set LRU.
+- :mod:`repro.prediction.last_value` — last-value prediction with
+  per-phase 3-bit confidence (§5.2.1, §5.1).
+- :mod:`repro.prediction.markov` — Markov-N predictors over the last N
+  unique phase IDs, with Last-4 and Top-N entry variants (§5.2.2, §6.1).
+- :mod:`repro.prediction.rle` — run-length-encoding predictors over the
+  last N (phase ID, run length) pairs (§5.2.3).
+- :mod:`repro.prediction.composite` — the combined next-phase predictor
+  (confident phase-change table result, else last value).
+- :mod:`repro.prediction.perfect` — the infinite-memory oracle Markov
+  models bounding achievable phase-change coverage (§6.1).
+- :mod:`repro.prediction.change_eval` — phase-change prediction
+  evaluation (Fig. 8 categories).
+- :mod:`repro.prediction.length` — run-length classes and the RLE-2
+  length predictor with hysteresis (§6.2, Fig. 9).
+"""
+
+from repro.prediction.assoc_table import AssociativeTable
+from repro.prediction.change_eval import (
+    ChangePredictionStats,
+    evaluate_change_predictor,
+)
+from repro.prediction.composite import CompositePhasePredictor, NextPhaseStats
+from repro.prediction.counters import ConfidenceCounter, SaturatingCounter
+from repro.prediction.last_value import LastValuePredictor
+from repro.prediction.markov import MarkovChangePredictor
+from repro.prediction.length import (
+    LENGTH_CLASS_BOUNDS,
+    PhaseLengthPredictor,
+    length_class,
+)
+from repro.prediction.perfect import PerfectMarkovPredictor
+from repro.prediction.rle import RLEChangePredictor
+from repro.prediction.tournament import TournamentChangePredictor
+
+__all__ = [
+    "AssociativeTable",
+    "ChangePredictionStats",
+    "CompositePhasePredictor",
+    "ConfidenceCounter",
+    "LENGTH_CLASS_BOUNDS",
+    "LastValuePredictor",
+    "MarkovChangePredictor",
+    "NextPhaseStats",
+    "PerfectMarkovPredictor",
+    "PhaseLengthPredictor",
+    "RLEChangePredictor",
+    "SaturatingCounter",
+    "TournamentChangePredictor",
+    "evaluate_change_predictor",
+    "length_class",
+]

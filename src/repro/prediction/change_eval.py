@@ -1,0 +1,113 @@
+"""Phase-change prediction evaluation (paper §6.1, Figure 8).
+
+Walks a classified phase-ID stream and, at every phase change, asks the
+predictor for the outcome it would have predicted, categorizing the
+result into Figure 8's stacked segments: confident correct, unconfident
+correct, tag miss, unconfident incorrect, confident incorrect. The
+entry is then trained with the actual outcome.
+
+Perfect (oracle) predictors are evaluated with the same function; their
+"tag miss" category is empty and cold-start transitions count as
+incorrect, exactly as in the paper's Perfect Markov bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Union
+
+from repro.errors import PredictionError
+from repro.prediction.change_base import ChangePredictorBase
+from repro.prediction.perfect import PerfectMarkovPredictor
+
+#: Figure 8 stacked-bar categories, in display order.
+CHANGE_CATEGORIES = (
+    "conf_correct",
+    "unconf_correct",
+    "tag_miss",
+    "unconf_incorrect",
+    "conf_incorrect",
+)
+
+
+@dataclass
+class ChangePredictionStats:
+    """Outcome counts over the phase *changes* of a run."""
+
+    counts: Dict[str, int] = field(
+        default_factory=lambda: {c: 0 for c in CHANGE_CATEGORIES}
+    )
+
+    def record(self, category: str) -> None:
+        if category not in self.counts:
+            raise PredictionError(f"unknown category {category!r}")
+        self.counts[category] += 1
+
+    @property
+    def total_changes(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def correct(self) -> int:
+        return self.counts["conf_correct"] + self.counts["unconf_correct"]
+
+    @property
+    def accuracy(self) -> float:
+        """Correctly predicted changes over all changes (the paper's
+        phase-change coverage figure)."""
+        total = self.total_changes
+        return self.correct / total if total else 0.0
+
+    @property
+    def confident_coverage(self) -> float:
+        """Confident-and-correct changes over all changes."""
+        total = self.total_changes
+        return self.counts["conf_correct"] / total if total else 0.0
+
+    @property
+    def misprediction_rate(self) -> float:
+        """Confidently wrong changes over all changes."""
+        total = self.total_changes
+        return self.counts["conf_incorrect"] / total if total else 0.0
+
+    def fractions(self) -> Dict[str, float]:
+        total = self.total_changes or 1
+        return {k: v / total for k, v in self.counts.items()}
+
+
+Predictor = Union[ChangePredictorBase, PerfectMarkovPredictor]
+
+
+def evaluate_change_predictor(
+    phase_ids: Iterable[int], predictor: Predictor
+) -> ChangePredictionStats:
+    """Drive ``predictor`` over a classified phase stream (Figure 8).
+
+    Returns per-change outcome statistics. The stream is consumed
+    interval by interval; only phase-change points contribute counts.
+    """
+    stats = ChangePredictionStats()
+    if isinstance(predictor, PerfectMarkovPredictor):
+        for phase_id in phase_ids:
+            verdict = predictor.observe(int(phase_id))
+            if verdict is None:
+                continue
+            stats.record("conf_correct" if verdict else "conf_incorrect")
+        return stats
+
+    for phase_id in phase_ids:
+        phase_id = int(phase_id)
+        completed = predictor.observe(phase_id)
+        if completed is None:
+            continue
+        key = predictor.change_key()
+        prediction = predictor.predict_change()
+        if not prediction.hit:
+            stats.record("tag_miss")
+        else:
+            correct = prediction.matches(phase_id)
+            prefix = "conf" if prediction.confident else "unconf"
+            suffix = "correct" if correct else "incorrect"
+            stats.record(f"{prefix}_{suffix}")
+        predictor.train_change(key, phase_id)
+    return stats

@@ -1,0 +1,150 @@
+"""Saturating and confidence counters (paper §5.1).
+
+Confidence counters are N-bit saturating counters incremented on
+correct predictions and decremented on incorrect ones; a prediction is
+trusted only when the counter is at or above a threshold (typically one
+below saturation). The paper uses a 3-bit counter with threshold 6 for
+last-value prediction and a 1-bit counter for phase-change table
+entries, incrementing and decrementing by 1 in both cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+class SaturatingCounter:
+    """An N-bit up/down saturating counter."""
+
+    __slots__ = ("bits", "_max", "_value", "increment", "decrement")
+
+    def __init__(
+        self,
+        bits: int,
+        initial: int = 0,
+        increment: int = 1,
+        decrement: int = 1,
+    ) -> None:
+        if not 1 <= bits <= 30:
+            raise ConfigurationError(f"bits must be in [1, 30], got {bits}")
+        if increment <= 0 or decrement <= 0:
+            raise ConfigurationError(
+                "increment and decrement must be positive"
+            )
+        self.bits = bits
+        self._max = (1 << bits) - 1
+        if not 0 <= initial <= self._max:
+            raise ConfigurationError(
+                f"initial value {initial} out of range for {bits} bits"
+            )
+        self._value = initial
+        self.increment = increment
+        self.decrement = decrement
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    @property
+    def max_value(self) -> int:
+        return self._max
+
+    def up(self) -> None:
+        """Increment, saturating at the maximum."""
+        self._value = min(self._value + self.increment, self._max)
+
+    def down(self) -> None:
+        """Decrement, saturating at zero."""
+        self._value = max(self._value - self.decrement, 0)
+
+    def reset(self, value: int = 0) -> None:
+        if not 0 <= value <= self._max:
+            raise ConfigurationError(
+                f"reset value {value} out of range for {self.bits} bits"
+            )
+        self._value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SaturatingCounter({self._value}/{self._max})"
+
+
+class ConfidenceCounter(SaturatingCounter):
+    """A saturating counter with a confidence threshold.
+
+    ``threshold`` defaults to one below saturation (the paper's choice
+    for the 3-bit last-value counter: threshold 6 of 7). A 1-bit
+    counter with the default threshold is confident after one correct
+    prediction (threshold 0? no — max 1, threshold 1-1=0 would always
+    be confident, so for 1-bit counters the threshold floors at 1:
+    confident only at saturation).
+    """
+
+    __slots__ = ("threshold",)
+
+    def __init__(
+        self,
+        bits: int,
+        threshold: "int | None" = None,
+        initial: int = 0,
+        increment: int = 1,
+        decrement: int = 1,
+    ) -> None:
+        super().__init__(
+            bits, initial=initial, increment=increment, decrement=decrement
+        )
+        if threshold is None:
+            threshold = max(self.max_value - 1, 1)
+        if not 0 <= threshold <= self.max_value:
+            raise ConfigurationError(
+                f"threshold {threshold} out of range for {bits} bits"
+            )
+        self.threshold = threshold
+
+    @property
+    def confident(self) -> bool:
+        """Whether predictions should currently be trusted."""
+        return self._value >= self.threshold
+
+    def record(self, correct: bool) -> None:
+        """Train with one prediction outcome."""
+        if correct:
+            self.up()
+        else:
+            self.down()
+
+
+@dataclass(frozen=True)
+class ConfidenceConfig:
+    """Configuration of the two confidence-counter sets (paper §5.1)."""
+
+    last_value_bits: int = 3
+    last_value_threshold: int = 6
+    change_table_bits: int = 1
+    change_table_threshold: int = 1
+
+    def __post_init__(self) -> None:
+        for bits, threshold, label in (
+            (self.last_value_bits, self.last_value_threshold, "last_value"),
+            (self.change_table_bits, self.change_table_threshold, "change"),
+        ):
+            if not 1 <= bits <= 30:
+                raise ConfigurationError(
+                    f"{label} bits must be in [1, 30], got {bits}"
+                )
+            if not 0 <= threshold <= (1 << bits) - 1:
+                raise ConfigurationError(
+                    f"{label} threshold {threshold} out of range for "
+                    f"{bits} bits"
+                )
+
+    def last_value_counter(self) -> ConfidenceCounter:
+        return ConfidenceCounter(
+            self.last_value_bits, threshold=self.last_value_threshold
+        )
+
+    def change_table_counter(self) -> ConfidenceCounter:
+        return ConfidenceCounter(
+            self.change_table_bits, threshold=self.change_table_threshold
+        )

@@ -1,0 +1,68 @@
+"""RLE-N phase-change predictors (paper §5.2.3).
+
+An RLE-N predictor indexes its table with the most recent N
+(phase ID, run length) pairs from the run-length-encoded phase history.
+Because the key carries the run length, a table hit mid-run predicts
+not just *what* the next phase is but *when* the change happens: the
+key only matches once the ongoing run reaches a length at which a
+change was previously observed.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.prediction.change_base import ChangePredictorBase
+
+
+class RLEChangePredictor(ChangePredictorBase):
+    """Phase-change predictor indexed by run-length-encoded history.
+
+    Parameters
+    ----------
+    depth:
+        N — how many (phase ID, run length) pairs form the key (1 or 2
+        in the paper).
+    entry_kind / use_confidence / entries / assoc:
+        See :class:`~repro.prediction.change_base.ChangePredictorBase`.
+    """
+
+    def __init__(
+        self,
+        depth: int = 2,
+        entries: int = 32,
+        assoc: int = 4,
+        entry_kind: str = "single",
+        use_confidence: bool = True,
+    ) -> None:
+        if depth < 1:
+            raise ConfigurationError(f"depth must be >= 1, got {depth}")
+        super().__init__(
+            entries=entries,
+            assoc=assoc,
+            entry_kind=entry_kind,
+            use_confidence=use_confidence,
+            history_depth=max(depth + 2, 8),
+        )
+        self.depth = depth
+
+    def _key_from_pairs(
+        self, pairs: Tuple[Tuple[int, int], ...]
+    ) -> Optional[Hashable]:
+        if len(pairs) < self.depth:
+            return None
+        return ("rle", self.depth, pairs[-self.depth:])
+
+    def change_key(self) -> Optional[Hashable]:
+        # After observe() pushed the completed run, the RLE history's
+        # newest pair is the run the change just ended.
+        return self._key_from_pairs(tuple(self._runs))
+
+    def running_key(self) -> Optional[Hashable]:
+        if self._current_phase is None:
+            return None
+        pairs = tuple(self._runs) + (
+            (self._current_phase, self._current_run),
+        )
+        return self._key_from_pairs(pairs)

@@ -1,0 +1,51 @@
+"""Microarchitecture substrate: the SimpleScalar substitute.
+
+The paper (Table 1) simulates an out-of-order core with split 16 KB L1
+caches, a 128 KB L2, a hybrid gshare+bimodal branch predictor and a
+fixed-latency TLB, using SimpleScalar. This package provides the same
+machine as a set of composable Python models:
+
+- :mod:`repro.simulator.cache` — set-associative caches with LRU.
+- :mod:`repro.simulator.branch` — bimodal, gshare and hybrid predictors.
+- :mod:`repro.simulator.tlb` — a TLB with fixed miss latency.
+- :mod:`repro.simulator.core_model` — an analytic out-of-order CPI model
+  that converts per-interval event *rates* into cycles per instruction
+  using Table 1 latencies.
+- :mod:`repro.simulator.machine` — wires the above into the Table 1
+  baseline machine and calibrates workload code regions.
+
+The models are event-driven (per memory reference / per branch) rather
+than cycle-driven: phase classification consumes only branch records and
+per-interval CPI, so event rates plus an analytic timing model preserve
+all behaviour the paper's experiments measure. See DESIGN.md §2.
+"""
+
+from repro.simulator.branch import (
+    BimodalPredictor,
+    GSharePredictor,
+    HybridPredictor,
+)
+from repro.simulator.cache import Cache, CacheConfig, CacheHierarchy, CacheStats
+from repro.simulator.core_model import CoreModel, CoreTimings, EventRates
+from repro.simulator.machine import Machine, MachineConfig, RegionCalibration
+from repro.simulator.sampling import SampledStream
+from repro.simulator.tlb import TLB, TLBConfig
+
+__all__ = [
+    "BimodalPredictor",
+    "Cache",
+    "CacheConfig",
+    "CacheHierarchy",
+    "CacheStats",
+    "CoreModel",
+    "CoreTimings",
+    "EventRates",
+    "GSharePredictor",
+    "HybridPredictor",
+    "Machine",
+    "MachineConfig",
+    "RegionCalibration",
+    "SampledStream",
+    "TLB",
+    "TLBConfig",
+]

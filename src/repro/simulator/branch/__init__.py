@@ -1,0 +1,26 @@
+"""Branch predictor models.
+
+The paper's Table 1 machine uses a hybrid predictor: an 8-bit-history
+gshare with 2K 2-bit counters plus an 8K-entry bimodal predictor, with a
+meta chooser selecting between them per branch. All three components are
+implemented here:
+
+- :class:`repro.simulator.branch.bimodal.BimodalPredictor`
+- :class:`repro.simulator.branch.gshare.GSharePredictor`
+- :class:`repro.simulator.branch.hybrid.HybridPredictor`
+
+A two-level local-history (PAg) predictor is available as an ablation
+component: :class:`repro.simulator.branch.local.LocalHistoryPredictor`.
+"""
+
+from repro.simulator.branch.bimodal import BimodalPredictor
+from repro.simulator.branch.gshare import GSharePredictor
+from repro.simulator.branch.hybrid import HybridPredictor
+from repro.simulator.branch.local import LocalHistoryPredictor
+
+__all__ = [
+    "BimodalPredictor",
+    "GSharePredictor",
+    "HybridPredictor",
+    "LocalHistoryPredictor",
+]

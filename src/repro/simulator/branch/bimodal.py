@@ -1,0 +1,75 @@
+"""Bimodal (per-PC 2-bit counter) branch predictor.
+
+A classic Smith predictor: a table of 2-bit saturating counters indexed
+by branch PC. Counters count 0..3; values >= 2 predict taken. The
+paper's hybrid uses an 8K-entry bimodal component (Table 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+_COUNTER_MAX = 3
+_TAKEN_THRESHOLD = 2
+_WEAKLY_NOT_TAKEN = 1
+
+
+class BimodalPredictor:
+    """2-bit saturating-counter predictor indexed by PC.
+
+    Parameters
+    ----------
+    entries:
+        Table size; must be a power of two (default 8192 per Table 1).
+    """
+
+    def __init__(self, entries: int = 8192) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ConfigurationError(
+                f"bimodal entries must be a power of two, got {entries}"
+            )
+        self.entries = entries
+        self._counters = np.full(entries, _WEAKLY_NOT_TAKEN, dtype=np.int8)
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def _index(self, pc: int) -> int:
+        # Drop the two low bits (instruction alignment) before indexing.
+        return (pc >> 2) & (self.entries - 1)
+
+    def predict(self, pc: int) -> bool:
+        """Return the taken/not-taken prediction for ``pc``."""
+        return bool(self._counters[self._index(pc)] >= _TAKEN_THRESHOLD)
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train the counter for ``pc`` with the actual outcome."""
+        index = self._index(pc)
+        counter = int(self._counters[index])
+        if taken:
+            counter = min(counter + 1, _COUNTER_MAX)
+        else:
+            counter = max(counter - 1, 0)
+        self._counters[index] = counter
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Predict, record accuracy stats, then train. Returns correctness."""
+        prediction = self.predict(pc)
+        correct = prediction == taken
+        self.predictions += 1
+        if not correct:
+            self.mispredictions += 1
+        self.update(pc, taken)
+        return correct
+
+    @property
+    def misprediction_rate(self) -> float:
+        """Mispredictions per prediction; 0.0 before any prediction."""
+        if self.predictions == 0:
+            return 0.0
+        return self.mispredictions / self.predictions
+
+    def reset_stats(self) -> None:
+        self.predictions = 0
+        self.mispredictions = 0

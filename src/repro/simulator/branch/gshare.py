@@ -1,0 +1,86 @@
+"""gshare branch predictor (global history XOR PC).
+
+McFarling's gshare: a global branch-history register is XORed with the
+branch PC to index a table of 2-bit saturating counters. The paper's
+Table 1 hybrid uses an 8-bit gshare with 2K 2-bit counters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+_COUNTER_MAX = 3
+_TAKEN_THRESHOLD = 2
+_WEAKLY_NOT_TAKEN = 1
+
+
+class GSharePredictor:
+    """Global-history XOR-indexed 2-bit counter predictor.
+
+    Parameters
+    ----------
+    history_bits:
+        Width of the global history register (default 8, per Table 1).
+    entries:
+        Counter table size; power of two (default 2048, per Table 1).
+    """
+
+    def __init__(self, history_bits: int = 8, entries: int = 2048) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ConfigurationError(
+                f"gshare entries must be a power of two, got {entries}"
+            )
+        if not 1 <= history_bits <= 30:
+            raise ConfigurationError(
+                f"gshare history_bits must be in [1, 30], got {history_bits}"
+            )
+        self.history_bits = history_bits
+        self.entries = entries
+        self._history = 0
+        self._history_mask = (1 << history_bits) - 1
+        self._counters = np.full(entries, _WEAKLY_NOT_TAKEN, dtype=np.int8)
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) & (self.entries - 1)
+
+    @property
+    def history(self) -> int:
+        """Current global history register value (for inspection/tests)."""
+        return self._history
+
+    def predict(self, pc: int) -> bool:
+        return bool(self._counters[self._index(pc)] >= _TAKEN_THRESHOLD)
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train the indexed counter, then shift the outcome into history."""
+        index = self._index(pc)
+        counter = int(self._counters[index])
+        if taken:
+            counter = min(counter + 1, _COUNTER_MAX)
+        else:
+            counter = max(counter - 1, 0)
+        self._counters[index] = counter
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        prediction = self.predict(pc)
+        correct = prediction == taken
+        self.predictions += 1
+        if not correct:
+            self.mispredictions += 1
+        self.update(pc, taken)
+        return correct
+
+    @property
+    def misprediction_rate(self) -> float:
+        if self.predictions == 0:
+            return 0.0
+        return self.mispredictions / self.predictions
+
+    def reset_stats(self) -> None:
+        self.predictions = 0
+        self.mispredictions = 0

@@ -1,0 +1,112 @@
+"""Two-level local-history branch predictor (PAg).
+
+Yeh & Patt's per-address two-level scheme: a table of per-branch
+history registers indexes a shared table of 2-bit counters. Local
+history captures per-branch periodic patterns (loop trip counts) that
+global history dilutes when many branches interleave — the natural
+third component alongside gshare and bimodal. Not part of the Table 1
+machine; offered for machine-model ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+_COUNTER_MAX = 3
+_TAKEN_THRESHOLD = 2
+_WEAKLY_NOT_TAKEN = 1
+
+
+class LocalHistoryPredictor:
+    """Per-branch history indexing a shared pattern table.
+
+    Parameters
+    ----------
+    history_bits:
+        Width of each branch's local history register.
+    history_entries:
+        Number of per-branch history registers (power of two).
+    pattern_entries:
+        Counter table size (power of two); indexed by the local
+        history XOR-folded with the PC to reduce cross-branch aliasing.
+    """
+
+    def __init__(
+        self,
+        history_bits: int = 10,
+        history_entries: int = 1024,
+        pattern_entries: int = 1024,
+    ) -> None:
+        for label, value in (
+            ("history_entries", history_entries),
+            ("pattern_entries", pattern_entries),
+        ):
+            if value <= 0 or value & (value - 1):
+                raise ConfigurationError(
+                    f"{label} must be a power of two, got {value}"
+                )
+        if not 1 <= history_bits <= 20:
+            raise ConfigurationError(
+                f"history_bits must be in [1, 20], got {history_bits}"
+            )
+        self.history_bits = history_bits
+        self.history_entries = history_entries
+        self.pattern_entries = pattern_entries
+        self._history_mask = (1 << history_bits) - 1
+        self._histories = np.zeros(history_entries, dtype=np.int64)
+        self._counters = np.full(
+            pattern_entries, _WEAKLY_NOT_TAKEN, dtype=np.int8
+        )
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def _history_index(self, pc: int) -> int:
+        return (pc >> 2) & (self.history_entries - 1)
+
+    def _pattern_index(self, pc: int) -> int:
+        history = int(self._histories[self._history_index(pc)])
+        return (history ^ (pc >> 2)) & (self.pattern_entries - 1)
+
+    def local_history(self, pc: int) -> int:
+        """The branch's current local history register (for tests)."""
+        return int(self._histories[self._history_index(pc)])
+
+    def predict(self, pc: int) -> bool:
+        return bool(
+            self._counters[self._pattern_index(pc)] >= _TAKEN_THRESHOLD
+        )
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train the pattern counter, then shift the local history."""
+        index = self._pattern_index(pc)
+        counter = int(self._counters[index])
+        if taken:
+            counter = min(counter + 1, _COUNTER_MAX)
+        else:
+            counter = max(counter - 1, 0)
+        self._counters[index] = counter
+        history_index = self._history_index(pc)
+        self._histories[history_index] = (
+            (int(self._histories[history_index]) << 1) | int(taken)
+        ) & self._history_mask
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        prediction = self.predict(pc)
+        correct = prediction == taken
+        self.predictions += 1
+        if not correct:
+            self.mispredictions += 1
+        self.update(pc, taken)
+        return correct
+
+    @property
+    def misprediction_rate(self) -> float:
+        if self.predictions == 0:
+            return 0.0
+        return self.mispredictions / self.predictions
+
+    def reset_stats(self) -> None:
+        self.predictions = 0
+        self.mispredictions = 0

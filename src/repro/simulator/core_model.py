@@ -1,0 +1,210 @@
+"""Analytic out-of-order core timing model.
+
+Converts per-interval microarchitectural *event rates* into cycles per
+instruction (CPI). This replaces SimpleScalar's cycle-accurate
+``sim-outorder`` timing loop with a first-order interval model (in the
+spirit of Karkhanis & Smith's interval analysis): the core sustains a
+dependence-limited steady-state IPC, and each miss event adds a penalty
+that is partially hidden by out-of-order execution.
+
+Latencies default to the paper's Table 1 machine:
+
+- L1 hit 1 cycle (folded into the base IPC),
+- L2 hit 12 cycles,
+- main memory 120 cycles,
+- TLB miss 30 cycles,
+- 4-wide issue with a 64-entry reorder buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, SimulationError
+
+
+@dataclass(frozen=True)
+class CoreTimings:
+    """Latency and overlap parameters of the analytic core model.
+
+    The ``*_overlap`` factors are the fraction of each raw penalty that
+    out-of-order execution hides (0.0 = fully exposed, 1.0 = free).
+    Defaults were chosen so that the model produces CPI in the 0.5-4.0
+    range the paper's benchmarks exhibit.
+    """
+
+    issue_width: int = 4
+    rob_entries: int = 64
+    l2_hit_latency: int = 12
+    memory_latency: int = 120
+    tlb_miss_latency: int = 30
+    branch_mispredict_penalty: int = 14
+    l2_hit_overlap: float = 0.4
+    memory_overlap: float = 0.5
+    tlb_overlap: float = 0.0
+    branch_overlap: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.issue_width <= 0:
+            raise ConfigurationError(
+                f"issue_width must be positive, got {self.issue_width}"
+            )
+        if self.rob_entries <= 0:
+            raise ConfigurationError(
+                f"rob_entries must be positive, got {self.rob_entries}"
+            )
+        for label in (
+            "l2_hit_latency",
+            "memory_latency",
+            "tlb_miss_latency",
+            "branch_mispredict_penalty",
+        ):
+            if getattr(self, label) < 0:
+                raise ConfigurationError(f"{label} must be non-negative")
+        for label in (
+            "l2_hit_overlap",
+            "memory_overlap",
+            "tlb_overlap",
+            "branch_overlap",
+        ):
+            value = getattr(self, label)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"{label} must be in [0, 1], got {value}"
+                )
+
+
+@dataclass(frozen=True)
+class EventRates:
+    """Per-instruction event rates observed over an interval.
+
+    All fields are events *per committed instruction* (so an L1 D-cache
+    miss rate of 0.01 means 10 misses per 1000 instructions). ``base_ipc``
+    is the dependence-limited IPC of the code in the absence of any miss
+    events; it is a property of the workload's instruction mix and must
+    not exceed the machine's issue width (enforced by the core model).
+    """
+
+    base_ipc: float
+    branch_rate: float = 0.0
+    branch_mispredict_rate: float = 0.0
+    il1_miss_rate: float = 0.0
+    dl1_miss_rate: float = 0.0
+    l2_miss_rate: float = 0.0
+    tlb_miss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base_ipc <= 0:
+            raise ConfigurationError(
+                f"base_ipc must be positive, got {self.base_ipc}"
+            )
+        for label in (
+            "branch_rate",
+            "branch_mispredict_rate",
+            "il1_miss_rate",
+            "dl1_miss_rate",
+            "l2_miss_rate",
+            "tlb_miss_rate",
+        ):
+            value = getattr(self, label)
+            if value < 0:
+                raise ConfigurationError(
+                    f"{label} must be non-negative, got {value}"
+                )
+        if self.branch_mispredict_rate > self.branch_rate + 1e-12:
+            raise ConfigurationError(
+                "branch_mispredict_rate cannot exceed branch_rate "
+                f"({self.branch_mispredict_rate} > {self.branch_rate})"
+            )
+
+    def scaled(self, factor: float) -> "EventRates":
+        """Scale all miss rates by ``factor`` (base IPC unchanged)."""
+        if factor < 0:
+            raise ValueError(f"factor must be non-negative, got {factor}")
+        return EventRates(
+            base_ipc=self.base_ipc,
+            branch_rate=self.branch_rate,
+            branch_mispredict_rate=min(
+                self.branch_mispredict_rate * factor, self.branch_rate
+            ),
+            il1_miss_rate=self.il1_miss_rate * factor,
+            dl1_miss_rate=self.dl1_miss_rate * factor,
+            l2_miss_rate=self.l2_miss_rate * factor,
+            tlb_miss_rate=self.tlb_miss_rate * factor,
+        )
+
+    @staticmethod
+    def blend(a: "EventRates", b: "EventRates", weight_b: float) -> "EventRates":
+        """Linearly interpolate two rate records (used for transitions)."""
+        if not 0.0 <= weight_b <= 1.0:
+            raise ValueError(f"weight_b must be in [0, 1], got {weight_b}")
+        wa = 1.0 - weight_b
+
+        def mix(field_name: str) -> float:
+            return wa * getattr(a, field_name) + weight_b * getattr(
+                b, field_name
+            )
+
+        return EventRates(
+            base_ipc=mix("base_ipc"),
+            branch_rate=mix("branch_rate"),
+            branch_mispredict_rate=mix("branch_mispredict_rate"),
+            il1_miss_rate=mix("il1_miss_rate"),
+            dl1_miss_rate=mix("dl1_miss_rate"),
+            l2_miss_rate=mix("l2_miss_rate"),
+            tlb_miss_rate=mix("tlb_miss_rate"),
+        )
+
+
+class CoreModel:
+    """First-order interval timing model for an out-of-order core.
+
+    CPI is modelled as the dependence-limited base CPI plus one additive
+    term per event class::
+
+        CPI = 1 / min(base_ipc, issue_width)
+            + il1_miss_rate * l2_hit_latency * (1 - l2_hit_overlap)
+            + dl1_miss_rate * l2_hit_latency * (1 - l2_hit_overlap)
+            + l2_miss_rate  * memory_latency * (1 - memory_overlap)
+            + tlb_miss_rate * tlb_miss_latency * (1 - tlb_overlap)
+            + mispredicts   * branch_penalty * (1 - branch_overlap)
+
+    The overlap factors model memory-level parallelism and out-of-order
+    latency hiding to first order; with Table 1 latencies and realistic
+    miss rates the model lands in the 0.4-5 CPI range SimpleScalar
+    reports for SPEC 2000 on this configuration.
+    """
+
+    def __init__(self, timings: "CoreTimings | None" = None) -> None:
+        self.timings = timings or CoreTimings()
+
+    def cpi(self, rates: EventRates) -> float:
+        """Compute CPI for one interval's event rates."""
+        t = self.timings
+        effective_ipc = min(rates.base_ipc, float(t.issue_width))
+        if effective_ipc <= 0:
+            raise SimulationError("effective IPC must be positive")
+        base = 1.0 / effective_ipc
+
+        il1 = rates.il1_miss_rate * t.l2_hit_latency * (1.0 - t.l2_hit_overlap)
+        dl1 = rates.dl1_miss_rate * t.l2_hit_latency * (1.0 - t.l2_hit_overlap)
+        l2 = rates.l2_miss_rate * t.memory_latency * (1.0 - t.memory_overlap)
+        tlb = rates.tlb_miss_rate * t.tlb_miss_latency * (1.0 - t.tlb_overlap)
+        branch = (
+            rates.branch_mispredict_rate
+            * t.branch_mispredict_penalty
+            * (1.0 - t.branch_overlap)
+        )
+        return base + il1 + dl1 + l2 + tlb + branch
+
+    def ipc(self, rates: EventRates) -> float:
+        """Instructions per cycle (reciprocal of :meth:`cpi`)."""
+        return 1.0 / self.cpi(rates)
+
+    def cycles(self, rates: EventRates, instructions: int) -> float:
+        """Total cycles to execute ``instructions`` at these rates."""
+        if instructions < 0:
+            raise ValueError(
+                f"instructions must be non-negative, got {instructions}"
+            )
+        return self.cpi(rates) * instructions

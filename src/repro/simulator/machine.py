@@ -1,0 +1,211 @@
+"""The Table 1 baseline machine: caches + branch predictor + TLB + core.
+
+:class:`Machine` wires together the functional models from this package
+and exposes :meth:`Machine.calibrate` — replay a region's sampled event
+stream through the real structures, measure miss ratios, and fold them
+into per-instruction :class:`~repro.simulator.core_model.EventRates`
+that the analytic core model converts to CPI.
+
+Calibration is run once per code region (regions are stationary by
+construction); per-interval CPI is then drawn from the calibrated rates
+with controlled noise by the workload generator. See DESIGN.md §2 for
+why this preserves the behaviour the paper measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.simulator.branch import HybridPredictor
+from repro.simulator.cache import Cache, CacheConfig, CacheHierarchy
+from repro.simulator.core_model import CoreModel, CoreTimings, EventRates
+from repro.simulator.sampling import SampledStream
+from repro.simulator.tlb import TLB, TLBConfig
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Structural configuration of the baseline machine (paper Table 1)."""
+
+    il1: CacheConfig = field(
+        default_factory=lambda: CacheConfig(16 * 1024, 4, 32, name="il1")
+    )
+    dl1: CacheConfig = field(
+        default_factory=lambda: CacheConfig(16 * 1024, 4, 32, name="dl1")
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(128 * 1024, 8, 64, name="ul2")
+    )
+    tlb: TLBConfig = field(default_factory=TLBConfig)
+    timings: CoreTimings = field(default_factory=CoreTimings)
+    gshare_history_bits: int = 8
+    gshare_entries: int = 2048
+    bimodal_entries: int = 8192
+    #: Branch predictor style: "hybrid" (Table 1), or a single
+    #: component ("bimodal" / "gshare" / "local") for ablations.
+    branch_predictor: str = "hybrid"
+
+    def __post_init__(self) -> None:
+        if self.branch_predictor not in (
+            "hybrid", "bimodal", "gshare", "local"
+        ):
+            raise SimulationError(
+                f"unknown branch_predictor {self.branch_predictor!r}"
+            )
+
+    @staticmethod
+    def table1() -> "MachineConfig":
+        """The exact configuration of the paper's Table 1 (the default)."""
+        return MachineConfig()
+
+
+@dataclass(frozen=True)
+class RegionCalibration:
+    """Measured behaviour of one code region on the machine.
+
+    ``rates`` feeds the analytic core model; ``cpi`` is the resulting
+    steady-state CPI for the region. The raw miss ratios are retained for
+    inspection and testing.
+    """
+
+    rates: EventRates
+    cpi: float
+    il1_miss_ratio: float
+    dl1_miss_ratio: float
+    l2_miss_ratio: float
+    tlb_miss_ratio: float
+    branch_mispredict_ratio: float
+
+
+class Machine:
+    """The baseline simulated machine.
+
+    Example
+    -------
+    >>> machine = Machine()
+    >>> # stream = some SampledStream from a workload region
+    >>> # calibration = machine.calibrate(stream)
+    >>> # calibration.cpi
+    """
+
+    def __init__(self, config: "MachineConfig | None" = None) -> None:
+        self.config = config or MachineConfig.table1()
+        self.core = CoreModel(self.config.timings)
+
+    def _fresh_hierarchy(self) -> CacheHierarchy:
+        return CacheHierarchy(
+            icache=Cache(self.config.il1),
+            dcache=Cache(self.config.dl1),
+            l2=Cache(self.config.l2),
+        )
+
+    def _fresh_branch_predictor(self):
+        from repro.simulator.branch import (
+            BimodalPredictor,
+            GSharePredictor,
+            LocalHistoryPredictor,
+        )
+
+        style = self.config.branch_predictor
+        if style == "bimodal":
+            return BimodalPredictor(entries=self.config.bimodal_entries)
+        if style == "gshare":
+            return GSharePredictor(
+                history_bits=self.config.gshare_history_bits,
+                entries=self.config.gshare_entries,
+            )
+        if style == "local":
+            return LocalHistoryPredictor()
+        return HybridPredictor(
+            gshare=GSharePredictor(
+                history_bits=self.config.gshare_history_bits,
+                entries=self.config.gshare_entries,
+            ),
+            bimodal=BimodalPredictor(entries=self.config.bimodal_entries),
+        )
+
+    def calibrate(
+        self, stream: SampledStream, warmup_fraction: float = 0.25
+    ) -> RegionCalibration:
+        """Replay ``stream`` through fresh structures and measure rates.
+
+        The first ``warmup_fraction`` of each event class is replayed to
+        warm the structures, then statistics are reset and the remainder
+        is measured — so cold-start misses do not pollute steady-state
+        region behaviour.
+        """
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise SimulationError(
+                f"warmup_fraction must be in [0, 1), got {warmup_fraction}"
+            )
+
+        hierarchy = self._fresh_hierarchy()
+        predictor = self._fresh_branch_predictor()
+        tlb = TLB(self.config.tlb)
+
+        # --- instruction fetches -------------------------------------
+        fetches = stream.instruction_addresses
+        split = int(len(fetches) * warmup_fraction)
+        for address in fetches[:split]:
+            hierarchy.access_instruction(int(address))
+        hierarchy.icache.reset_stats()
+        hierarchy.l2.reset_stats()
+        for address in fetches[split:]:
+            hierarchy.access_instruction(int(address))
+        il1_ratio = hierarchy.icache.stats.miss_rate
+
+        # --- data references (TLB translated alongside) --------------
+        data = stream.data_addresses
+        split = int(len(data) * warmup_fraction)
+        for address in data[:split]:
+            hierarchy.access_data(int(address))
+            tlb.access(int(address))
+        hierarchy.dcache.reset_stats()
+        tlb.reset_stats()
+        l2_after_fetch = hierarchy.l2.stats
+        hierarchy.l2.reset_stats()
+        for address in data[split:]:
+            hierarchy.access_data(int(address))
+            tlb.access(int(address))
+        dl1_ratio = hierarchy.dcache.stats.miss_rate
+        tlb_ratio = tlb.miss_rate
+        # L2 ratio measured over L2 accesses from both fetch and data
+        # measurement windows.
+        l2_stats = l2_after_fetch.merge(hierarchy.l2.stats)
+        l2_ratio = l2_stats.miss_rate
+
+        # --- branches -------------------------------------------------
+        pcs = stream.branch_pcs
+        outcomes = stream.branch_taken
+        split = int(len(pcs) * warmup_fraction)
+        for pc, taken in zip(pcs[:split], outcomes[:split]):
+            predictor.predict_and_update(int(pc), bool(taken))
+        predictor.reset_stats()
+        for pc, taken in zip(pcs[split:], outcomes[split:]):
+            predictor.predict_and_update(int(pc), bool(taken))
+        branch_ratio = predictor.misprediction_rate
+
+        # --- fold ratios into per-instruction rates -------------------
+        rates = EventRates(
+            base_ipc=stream.base_ipc,
+            branch_rate=stream.branches_per_instr,
+            branch_mispredict_rate=branch_ratio * stream.branches_per_instr,
+            il1_miss_rate=il1_ratio * stream.fetches_per_instr,
+            dl1_miss_rate=dl1_ratio * stream.loads_per_instr,
+            l2_miss_rate=l2_ratio
+            * (
+                il1_ratio * stream.fetches_per_instr
+                + dl1_ratio * stream.loads_per_instr
+            ),
+            tlb_miss_rate=tlb_ratio * stream.loads_per_instr,
+        )
+        return RegionCalibration(
+            rates=rates,
+            cpi=self.core.cpi(rates),
+            il1_miss_ratio=il1_ratio,
+            dl1_miss_ratio=dl1_ratio,
+            l2_miss_ratio=l2_ratio,
+            tlb_miss_ratio=tlb_ratio,
+            branch_mispredict_ratio=branch_ratio,
+        )

@@ -1,0 +1,85 @@
+"""Sampled event streams fed to the machine model for calibration.
+
+A :class:`SampledStream` is a statistically representative sample of one
+code region's dynamic behaviour: instruction-fetch addresses, data
+addresses, and branch (pc, outcome) pairs, plus the per-instruction
+densities needed to convert observed miss counts into per-instruction
+rates. Workload code regions produce these (see
+:mod:`repro.workloads.generator`); :class:`repro.simulator.machine.Machine`
+replays them through the real cache/branch/TLB models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+@dataclass
+class SampledStream:
+    """A representative event sample for one code region.
+
+    Parameters
+    ----------
+    instruction_addresses:
+        Byte addresses of sampled instruction fetches (one per fetched
+        block is fine; density is controlled by ``fetches_per_instr``).
+    data_addresses:
+        Byte addresses of sampled loads/stores.
+    branch_pcs / branch_taken:
+        Parallel arrays of sampled branch PCs and outcomes.
+    base_ipc:
+        Dependence-limited IPC of the region's code (no miss events).
+    loads_per_instr:
+        Data references per committed instruction (used to convert the
+        measured D-cache miss *ratio* into a per-instruction rate).
+    fetches_per_instr:
+        Instruction-cache block fetches per committed instruction.
+    branches_per_instr:
+        Branches per committed instruction.
+    """
+
+    instruction_addresses: np.ndarray
+    data_addresses: np.ndarray
+    branch_pcs: np.ndarray
+    branch_taken: np.ndarray
+    base_ipc: float
+    loads_per_instr: float
+    fetches_per_instr: float
+    branches_per_instr: float
+
+    def __post_init__(self) -> None:
+        self.instruction_addresses = np.asarray(
+            self.instruction_addresses, dtype=np.int64
+        )
+        self.data_addresses = np.asarray(self.data_addresses, dtype=np.int64)
+        self.branch_pcs = np.asarray(self.branch_pcs, dtype=np.int64)
+        self.branch_taken = np.asarray(self.branch_taken, dtype=bool)
+        if self.branch_pcs.shape != self.branch_taken.shape:
+            raise SimulationError(
+                "branch_pcs and branch_taken must have identical shape: "
+                f"{self.branch_pcs.shape} vs {self.branch_taken.shape}"
+            )
+        if self.base_ipc <= 0:
+            raise SimulationError(
+                f"base_ipc must be positive, got {self.base_ipc}"
+            )
+        for label in ("loads_per_instr", "fetches_per_instr",
+                      "branches_per_instr"):
+            if getattr(self, label) < 0:
+                raise SimulationError(f"{label} must be non-negative")
+
+    @property
+    def num_branches(self) -> int:
+        return int(self.branch_pcs.shape[0])
+
+    @property
+    def num_data_refs(self) -> int:
+        return int(self.data_addresses.shape[0])
+
+    @property
+    def num_fetches(self) -> int:
+        return int(self.instruction_addresses.shape[0])

@@ -1,0 +1,459 @@
+"""Basic blocks, sub-modes and code regions.
+
+A :class:`CodeRegion` is the atom of synthetic workload construction: a
+population of static basic blocks (branch PCs with execution weights)
+plus a microarchitectural personality (memory pattern, branch
+predictability, dependence-limited IPC). A stable *phase* in the paper's
+sense corresponds to a run of intervals executing one region.
+
+Sub-modes (:class:`SubMode`) model intra-region behaviour variation:
+a region may alternate between a few weight/CPI variants. With a loose
+similarity threshold the variants classify into one phase (raising its
+CPI CoV); a tightened threshold splits them — exactly the effect the
+paper's adaptive classifier exploits (§4.6, Figure 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workloads import address_stream, branch_stream
+from repro.simulator.sampling import SampledStream
+
+
+@dataclass(frozen=True)
+class BasicBlock:
+    """A static basic block: its terminating branch PC and its weight.
+
+    ``weight`` is the block's share of dynamic execution within its
+    region (weights of a region sum to 1).
+    """
+
+    pc: int
+    weight: float
+
+    def __post_init__(self) -> None:
+        if self.pc < 0:
+            raise ConfigurationError(f"pc must be non-negative, got {self.pc}")
+        if self.weight < 0:
+            raise ConfigurationError(
+                f"weight must be non-negative, got {self.weight}"
+            )
+
+
+@dataclass(frozen=True)
+class SubMode:
+    """One behaviour variant of a region.
+
+    Parameters
+    ----------
+    weight_multipliers:
+        Per-block multiplicative adjustment applied to the region's base
+        block weights when this sub-mode is active (renormalized).
+    cpi_scale:
+        Multiplier on the region's calibrated CPI while in this sub-mode.
+    probability:
+        Chance that an interval of the region runs in this sub-mode.
+    """
+
+    weight_multipliers: Tuple[float, ...]
+    cpi_scale: float = 1.0
+    probability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if any(m < 0 for m in self.weight_multipliers):
+            raise ConfigurationError("weight multipliers must be >= 0")
+        if self.cpi_scale <= 0:
+            raise ConfigurationError(
+                f"cpi_scale must be positive, got {self.cpi_scale}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigurationError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+
+
+def make_submodes(
+    rng: np.random.Generator,
+    num_blocks: int,
+    cpi_scales: Sequence[float],
+    intensity: float = 0.4,
+) -> List[SubMode]:
+    """Build a set of sub-modes with distinct weight emphases.
+
+    Each sub-mode boosts a random half of the blocks by ``1 + intensity``
+    and damps the other half by ``1 - intensity``, so different
+    sub-modes emphasise different code while sharing the same static
+    block population. ``cpi_scales`` gives one CPI multiplier per
+    sub-mode; probabilities are uniform.
+    """
+    if not cpi_scales:
+        raise ConfigurationError("cpi_scales must not be empty")
+    if not 0.0 <= intensity < 1.0:
+        raise ConfigurationError(
+            f"intensity must be in [0, 1), got {intensity}"
+        )
+    probability = 1.0 / len(cpi_scales)
+    submodes = []
+    for scale in cpi_scales:
+        boosted = rng.random(num_blocks) < 0.5
+        multipliers = np.where(boosted, 1.0 + intensity, 1.0 - intensity)
+        submodes.append(
+            SubMode(
+                weight_multipliers=tuple(float(m) for m in multipliers),
+                cpi_scale=float(scale),
+                probability=probability,
+            )
+        )
+    return submodes
+
+
+class CodeRegion:
+    """A stationary region of code with a fixed behaviour personality.
+
+    Parameters
+    ----------
+    name:
+        Label used in traces and diagnostics.
+    rng:
+        Generator used *once* at construction to draw the static
+        structure (block PCs and weights). Per-interval sampling uses
+        the generator passed to the sampling methods, so a region's
+        static identity is independent of how often it is sampled.
+    num_blocks:
+        Static basic blocks in the region.
+    code_base / code_bytes:
+        Address range the blocks live in; controls I-cache footprint.
+    weight_concentration:
+        Dirichlet concentration for block weights. Small values give
+        heavy-tailed (realistic) weight distributions.
+    pattern / working_set_bytes / loads_per_instr:
+        Data-memory personality (see :mod:`repro.workloads.address_stream`).
+    hot_fraction:
+        Share of data references that hit a small (2 KB) hot buffer —
+        stack slots and hot locals. Real programs direct most references
+        at a tiny resident set; only the remainder follows the region's
+        characteristic pattern, which keeps miss *rates* realistic while
+        preserving each pattern's miss-rate ordering.
+    loop_fraction / data_bias / trip_count:
+        Branch personality (see :mod:`repro.workloads.branch_stream`).
+    base_ipc:
+        Dependence-limited IPC of the region's code.
+    cpi_sigma:
+        Log-normal sigma of within-sub-mode CPI noise (sets the floor of
+        per-phase CoV).
+    submodes:
+        Behaviour variants; defaults to a single identity sub-mode.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        rng: np.random.Generator,
+        num_blocks: int = 48,
+        code_base: int = 0x40_0000,
+        code_bytes: int = 8 * 1024,
+        weight_concentration: float = 0.5,
+        pattern: str = "strided",
+        working_set_bytes: int = 64 * 1024,
+        loads_per_instr: float = 0.3,
+        hot_fraction: float = 0.9,
+        loop_fraction: float = 0.6,
+        data_bias: float = 0.7,
+        trip_count: int = 16,
+        base_ipc: float = 2.0,
+        cpi_sigma: float = 0.03,
+        submodes: Optional[Sequence[SubMode]] = None,
+    ) -> None:
+        if num_blocks < 2:
+            raise ConfigurationError(
+                f"a region needs at least 2 blocks, got {num_blocks}"
+            )
+        if code_bytes < 4 * num_blocks:
+            raise ConfigurationError(
+                "code_bytes too small to place all blocks at distinct PCs"
+            )
+        if weight_concentration <= 0:
+            raise ConfigurationError(
+                "weight_concentration must be positive, got "
+                f"{weight_concentration}"
+            )
+        if cpi_sigma < 0:
+            raise ConfigurationError(
+                f"cpi_sigma must be non-negative, got {cpi_sigma}"
+            )
+        if pattern not in address_stream.PATTERNS:
+            raise ConfigurationError(
+                f"unknown pattern {pattern!r}; expected one of "
+                f"{address_stream.PATTERNS}"
+            )
+        if not 0.0 <= hot_fraction < 1.0:
+            raise ConfigurationError(
+                f"hot_fraction must be in [0, 1), got {hot_fraction}"
+            )
+
+        self.name = name
+        self.num_blocks = num_blocks
+        self.code_base = code_base
+        self.code_bytes = code_bytes
+        self.pattern = pattern
+        self.working_set_bytes = working_set_bytes
+        self.loads_per_instr = loads_per_instr
+        self.hot_fraction = hot_fraction
+        self.loop_fraction = loop_fraction
+        self.data_bias = data_bias
+        self.trip_count = trip_count
+        self.base_ipc = base_ipc
+        self.cpi_sigma = cpi_sigma
+
+        # Static structure: distinct word-aligned PCs inside the code
+        # segment, heavy-tailed weights.
+        slots = code_bytes // 4
+        chosen = rng.choice(slots, size=num_blocks, replace=False)
+        self.block_pcs = (code_base + np.sort(chosen) * 4).astype(np.int64)
+        self.block_weights = rng.dirichlet(
+            np.full(num_blocks, weight_concentration)
+        )
+
+        if submodes is None:
+            submodes = [SubMode(weight_multipliers=(1.0,) * num_blocks)]
+        self.submodes = list(submodes)
+        if not self.submodes:
+            raise ConfigurationError("submodes must not be empty")
+        for mode in self.submodes:
+            if len(mode.weight_multipliers) != num_blocks:
+                raise ConfigurationError(
+                    f"sub-mode multiplier length {len(mode.weight_multipliers)}"
+                    f" does not match num_blocks {num_blocks}"
+                )
+        probs = np.array([m.probability for m in self.submodes], dtype=float)
+        if probs.sum() <= 0:
+            raise ConfigurationError("sub-mode probabilities sum to zero")
+        self._submode_probs = probs / probs.sum()
+
+    @classmethod
+    def sibling(
+        cls,
+        base: "CodeRegion",
+        rng: np.random.Generator,
+        name: str,
+        weight_jitter: float = 0.6,
+        cpi_scale_hint: float = 1.0,
+        **overrides: object,
+    ) -> "CodeRegion":
+        """Create a region sharing ``base``'s static blocks.
+
+        The sibling reuses the base region's block PCs but perturbs the
+        weights multiplicatively (log-normal with sigma
+        ``weight_jitter``), producing two regions whose signatures are
+        *related* — near the classification threshold — which is what
+        makes benchmarks like ``galgel`` hard for code-based phase
+        classification. Personality fields can be overridden via
+        keyword arguments; ``cpi_scale_hint`` nudges ``base_ipc`` so the
+        sibling's CPI differs even when other personality fields match.
+        """
+        if weight_jitter < 0:
+            raise ConfigurationError(
+                f"weight_jitter must be non-negative, got {weight_jitter}"
+            )
+        params = dict(
+            num_blocks=base.num_blocks,
+            code_base=base.code_base,
+            code_bytes=base.code_bytes,
+            pattern=base.pattern,
+            working_set_bytes=base.working_set_bytes,
+            loads_per_instr=base.loads_per_instr,
+            hot_fraction=base.hot_fraction,
+            loop_fraction=base.loop_fraction,
+            data_bias=base.data_bias,
+            trip_count=base.trip_count,
+            base_ipc=base.base_ipc / cpi_scale_hint,
+            cpi_sigma=base.cpi_sigma,
+        )
+        params.update(overrides)
+        region = cls(name=name, rng=rng, **params)  # type: ignore[arg-type]
+        region.block_pcs = base.block_pcs.copy()
+        jitter = rng.lognormal(mean=0.0, sigma=weight_jitter,
+                               size=base.num_blocks)
+        weights = base.block_weights * jitter
+        region.block_weights = weights / weights.sum()
+        return region
+
+    # -- derived properties ------------------------------------------------
+
+    @property
+    def blocks(self) -> List[BasicBlock]:
+        """The region's static blocks as value objects."""
+        return [
+            BasicBlock(pc=int(pc), weight=float(w))
+            for pc, w in zip(self.block_pcs, self.block_weights)
+        ]
+
+    def set_submodes(
+        self,
+        submodes: Sequence[SubMode],
+        probabilities: Optional[Sequence[float]] = None,
+    ) -> None:
+        """Replace the region's sub-modes after construction.
+
+        ``probabilities`` overrides the per-sub-mode probabilities (it is
+        normalized); when omitted, each sub-mode's own ``probability``
+        field is used.
+        """
+        submodes = list(submodes)
+        if not submodes:
+            raise ConfigurationError("submodes must not be empty")
+        for mode in submodes:
+            if len(mode.weight_multipliers) != self.num_blocks:
+                raise ConfigurationError(
+                    f"sub-mode multiplier length "
+                    f"{len(mode.weight_multipliers)} does not match "
+                    f"num_blocks {self.num_blocks}"
+                )
+        if probabilities is None:
+            probs = np.array([m.probability for m in submodes], dtype=float)
+        else:
+            probs = np.asarray(probabilities, dtype=float)
+            if probs.shape != (len(submodes),):
+                raise ConfigurationError(
+                    "probabilities must match the number of sub-modes"
+                )
+        if np.any(probs < 0) or probs.sum() <= 0:
+            raise ConfigurationError(
+                "sub-mode probabilities must be non-negative and sum > 0"
+            )
+        self.submodes = submodes
+        self._submode_probs = probs / probs.sum()
+
+    def submode_weights(self, submode_index: int) -> np.ndarray:
+        """Normalized block weights while the given sub-mode is active."""
+        mode = self.submodes[submode_index]
+        weights = self.block_weights * np.asarray(mode.weight_multipliers)
+        total = weights.sum()
+        if total <= 0:
+            raise ConfigurationError(
+                f"sub-mode {submode_index} of region '{self.name}' zeroes "
+                "all block weights"
+            )
+        return weights / total
+
+    # -- per-interval sampling ----------------------------------------------
+
+    def pick_submode(self, rng: np.random.Generator) -> int:
+        """Draw a sub-mode index according to the configured probabilities."""
+        return int(rng.choice(len(self.submodes), p=self._submode_probs))
+
+    def sample_interval_records(
+        self,
+        rng: np.random.Generator,
+        interval_instructions: int,
+        draws: int = 4000,
+        submode_index: Optional[int] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, int]:
+        """Sample one interval's (branch PC, instruction count) records.
+
+        Dynamic block execution counts are drawn multinomially (``draws``
+        trials) from the active sub-mode's weights, then scaled so the
+        instruction counts sum exactly to ``interval_instructions``.
+        Aggregating records per static block is behaviour-preserving for
+        the accumulator table, which only sums per-PC contributions.
+
+        Returns ``(pcs, instr_counts, submode_index)``.
+        """
+        if interval_instructions <= 0:
+            raise ConfigurationError(
+                "interval_instructions must be positive, got "
+                f"{interval_instructions}"
+            )
+        if draws <= 0:
+            raise ConfigurationError(f"draws must be positive, got {draws}")
+        if submode_index is None:
+            submode_index = self.pick_submode(rng)
+        weights = self.submode_weights(submode_index)
+        counts = rng.multinomial(draws, weights)
+        active = counts > 0
+        pcs = self.block_pcs[active]
+        block_counts = counts[active].astype(np.float64)
+
+        instr = np.floor(
+            block_counts / draws * interval_instructions
+        ).astype(np.int64)
+        # Distribute the rounding remainder onto the heaviest block so the
+        # interval sums exactly to its nominal length.
+        remainder = interval_instructions - int(instr.sum())
+        instr[int(np.argmax(block_counts))] += remainder
+        return pcs, instr, submode_index
+
+    # -- calibration stream ---------------------------------------------------
+
+    def sampled_stream(
+        self, rng: np.random.Generator, events: int = 8192
+    ) -> SampledStream:
+        """Build the machine-calibration sample for this region."""
+        if events <= 0:
+            raise ConfigurationError(f"events must be positive, got {events}")
+
+        # Data references: a hot 2 KB buffer absorbs most references;
+        # the remainder follows the region's characteristic pattern.
+        cold_count = max(int(round(events * (1.0 - self.hot_fraction))), 1)
+        hot_count = events - cold_count
+        cold = address_stream.generate(
+            self.pattern,
+            rng,
+            cold_count,
+            base=0x1000_0000,
+            working_set_bytes=self.working_set_bytes,
+        )
+        if hot_count > 0:
+            hot = address_stream.random_in_working_set(
+                rng, hot_count, base=0x0800_0000, working_set_bytes=2048
+            )
+            data_addresses = np.empty(events, dtype=np.int64)
+            hot_slots = rng.permutation(events)[:hot_count]
+            hot_mask = np.zeros(events, dtype=bool)
+            hot_mask[hot_slots] = True
+            data_addresses[hot_mask] = hot
+            data_addresses[~hot_mask] = cold
+        else:
+            data_addresses = cold
+
+        # Instruction fetches: walk sequentially from sampled block PCs,
+        # touching a handful of lines per block visit.
+        visits = max(events // 8, 1)
+        starts = rng.choice(self.block_pcs, size=visits, p=self.block_weights)
+        run = np.arange(8, dtype=np.int64) * 4
+        instruction_addresses = (starts[:, None] + run[None, :]).ravel()
+
+        branch_pcs, branch_taken = branch_stream.region_branch_sample(
+            rng,
+            self.block_pcs,
+            self.block_weights,
+            count=events,
+            loop_fraction=self.loop_fraction,
+            data_bias=self.data_bias,
+            trip_count=self.trip_count,
+        )
+
+        # ~1 branch per 6 instructions, a typical integer-code density.
+        branches_per_instr = 1.0 / 6.0
+        return SampledStream(
+            instruction_addresses=instruction_addresses,
+            data_addresses=data_addresses,
+            branch_pcs=branch_pcs,
+            branch_taken=branch_taken,
+            base_ipc=self.base_ipc,
+            loads_per_instr=self.loads_per_instr,
+            fetches_per_instr=0.25,
+            branches_per_instr=branches_per_instr,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CodeRegion({self.name!r}, blocks={self.num_blocks}, "
+            f"pattern={self.pattern!r}, ws={self.working_set_bytes}B, "
+            f"submodes={len(self.submodes)})"
+        )

@@ -1,0 +1,110 @@
+"""Synthetic branch outcome generators.
+
+Gives each code region a branch-behaviour personality for calibration
+against the hybrid predictor in :mod:`repro.simulator.branch`:
+
+- *loop branches* are taken with high probability and follow a periodic
+  pattern (taken ``trip_count - 1`` times, then not taken) — highly
+  predictable by both gshare and bimodal.
+- *data-dependent branches* are Bernoulli with a per-branch bias —
+  predictable only up to their bias.
+
+A region's overall predictability is set by the mix of the two and by
+the bias distribution of its data-dependent branches.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def loop_branch_outcomes(
+    rng: np.random.Generator, count: int, trip_count: int
+) -> np.ndarray:
+    """Outcomes of a loop back-edge with the given trip count.
+
+    The branch is taken ``trip_count - 1`` consecutive times, then falls
+    through, repeating. The phase within the pattern is randomized.
+    """
+    if count < 0:
+        raise ConfigurationError(f"count must be non-negative, got {count}")
+    if trip_count < 2:
+        raise ConfigurationError(
+            f"trip_count must be at least 2, got {trip_count}"
+        )
+    phase = int(rng.integers(0, trip_count))
+    positions = (np.arange(count, dtype=np.int64) + phase) % trip_count
+    return positions != (trip_count - 1)
+
+
+def biased_outcomes(
+    rng: np.random.Generator, count: int, taken_probability: float
+) -> np.ndarray:
+    """Independent Bernoulli outcomes with the given taken probability."""
+    if count < 0:
+        raise ConfigurationError(f"count must be non-negative, got {count}")
+    if not 0.0 <= taken_probability <= 1.0:
+        raise ConfigurationError(
+            f"taken_probability must be in [0, 1], got {taken_probability}"
+        )
+    return rng.random(count) < taken_probability
+
+
+def region_branch_sample(
+    rng: np.random.Generator,
+    branch_pcs: np.ndarray,
+    branch_weights: np.ndarray,
+    count: int,
+    loop_fraction: float,
+    data_bias: float,
+    trip_count: int = 16,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample ``count`` (pc, outcome) pairs for one region.
+
+    Static branches are partitioned into loop branches (the first
+    ``loop_fraction`` of the population, weighted) and data-dependent
+    branches. Dynamic instances are drawn from ``branch_weights``; each
+    instance's outcome follows its static branch's class.
+
+    Returns
+    -------
+    (pcs, taken):
+        Parallel arrays of sampled PCs and boolean outcomes.
+    """
+    branch_pcs = np.asarray(branch_pcs, dtype=np.int64)
+    branch_weights = np.asarray(branch_weights, dtype=np.float64)
+    if branch_pcs.ndim != 1 or branch_pcs.shape != branch_weights.shape:
+        raise ConfigurationError(
+            "branch_pcs and branch_weights must be parallel 1-D arrays"
+        )
+    if branch_pcs.size == 0:
+        raise ConfigurationError("region has no static branches")
+    if not 0.0 <= loop_fraction <= 1.0:
+        raise ConfigurationError(
+            f"loop_fraction must be in [0, 1], got {loop_fraction}"
+        )
+    total = branch_weights.sum()
+    if total <= 0:
+        raise ConfigurationError("branch weights must sum to a positive value")
+
+    probabilities = branch_weights / total
+    choices = rng.choice(branch_pcs.size, size=count, p=probabilities)
+    pcs = branch_pcs[choices]
+
+    num_loop = int(round(branch_pcs.size * loop_fraction))
+    is_loop_static = np.zeros(branch_pcs.size, dtype=bool)
+    is_loop_static[:num_loop] = True
+    is_loop = is_loop_static[choices]
+
+    taken = np.empty(count, dtype=bool)
+    loop_count = int(is_loop.sum())
+    if loop_count:
+        taken[is_loop] = loop_branch_outcomes(rng, loop_count, trip_count)
+    data_count = count - loop_count
+    if data_count:
+        taken[~is_loop] = biased_outcomes(rng, data_count, data_bias)
+    return pcs, taken

@@ -1,0 +1,306 @@
+"""Workload generator: regions + script + machine -> interval trace.
+
+For each benchmark the generator:
+
+1. calibrates every code region once against the machine model
+   (real cache / branch-predictor / TLB simulation; see
+   :meth:`repro.simulator.machine.Machine.calibrate`),
+2. walks the phase script, emitting one :class:`~repro.workloads.trace.Interval`
+   per stable interval (signature records sampled from the region,
+   CPI drawn from the calibrated rate with log-normal noise), and
+3. inserts *transition intervals* between segments of different regions:
+   short runs of intervals whose code records blend the outgoing and
+   incoming regions plus one-off "unique" blocks, and whose CPI blends
+   the two regions' CPIs with extra noise — the paper's "unique
+   behaviour between stable phases" (§4.4).
+
+All randomness derives from a single seed through
+:class:`numpy.random.SeedSequence`, so traces are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.simulator.machine import Machine, RegionCalibration
+from repro.workloads.basic_block import CodeRegion
+from repro.workloads.phase_script import PhaseScript
+from repro.workloads.trace import (
+    DEFAULT_INTERVAL_INSTRUCTIONS,
+    Interval,
+    IntervalTrace,
+)
+
+#: Address space where one-off transition blocks live, far from any
+#: region's code segment so transition signatures are genuinely unique.
+_TRANSIENT_CODE_BASE = 0x7000_0000
+_TRANSIENT_CODE_SPAN = 0x0100_0000
+
+
+@dataclass(frozen=True)
+class TransitionConfig:
+    """Shape of the synthetic transition intervals between segments.
+
+    Parameters
+    ----------
+    min_length / max_length:
+        Number of transition intervals inserted between two stable
+        segments (drawn uniformly).
+    unique_fraction:
+        Share of a transition interval's instructions attributed to
+        one-off blocks that never recur.
+    unique_blocks:
+        How many distinct one-off blocks each transition interval uses.
+    cpi_scale_low / cpi_scale_high:
+        Transition CPI is the blended region CPI times a uniform draw
+        from this range (transitions tend to run colder).
+    cpi_sigma:
+        Extra log-normal noise applied to transition CPI.
+    probability:
+        Chance that a segment boundary gets transition intervals at all
+        (some phase changes in real programs are clean).
+    """
+
+    min_length: int = 1
+    max_length: int = 3
+    unique_fraction: float = 0.30
+    unique_blocks: int = 12
+    cpi_scale_low: float = 1.0
+    cpi_scale_high: float = 1.35
+    cpi_sigma: float = 0.10
+    probability: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.min_length < 1 or self.max_length < self.min_length:
+            raise ConfigurationError(
+                f"invalid transition length range "
+                f"[{self.min_length}, {self.max_length}]"
+            )
+        if not 0.0 <= self.unique_fraction < 1.0:
+            raise ConfigurationError(
+                f"unique_fraction must be in [0, 1), got "
+                f"{self.unique_fraction}"
+            )
+        if self.unique_blocks < 1:
+            raise ConfigurationError(
+                f"unique_blocks must be >= 1, got {self.unique_blocks}"
+            )
+        if not 0.0 < self.cpi_scale_low <= self.cpi_scale_high:
+            raise ConfigurationError("invalid transition cpi scale range")
+        if self.cpi_sigma < 0:
+            raise ConfigurationError("cpi_sigma must be non-negative")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigurationError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+
+
+class WorkloadGenerator:
+    """Generates an :class:`IntervalTrace` for one synthetic benchmark."""
+
+    def __init__(
+        self,
+        name: str,
+        regions: Sequence[CodeRegion],
+        script: PhaseScript,
+        machine: Optional[Machine] = None,
+        seed: int = 0,
+        interval_instructions: int = DEFAULT_INTERVAL_INSTRUCTIONS,
+        draws_per_interval: int = 4000,
+        calibration_events: int = 8192,
+        transitions: Optional[TransitionConfig] = None,
+    ) -> None:
+        if not regions:
+            raise ConfigurationError("at least one region is required")
+        used = script.regions_used()
+        if used and used[-1] >= len(regions):
+            raise ConfigurationError(
+                f"script references region {used[-1]} but only "
+                f"{len(regions)} regions were supplied"
+            )
+        self.name = name
+        self.regions = list(regions)
+        self.script = script
+        self.machine = machine or Machine()
+        self.seed = seed
+        self.interval_instructions = interval_instructions
+        self.draws_per_interval = draws_per_interval
+        self.calibration_events = calibration_events
+        self.transitions = transitions or TransitionConfig()
+        self._calibrations: Optional[List[RegionCalibration]] = None
+
+    # -- calibration -------------------------------------------------------
+
+    def calibrations(self) -> List[RegionCalibration]:
+        """Calibrate every region once (cached)."""
+        if self._calibrations is None:
+            seeds = np.random.SeedSequence(self.seed).spawn(len(self.regions))
+            self._calibrations = [
+                self.machine.calibrate(
+                    region.sampled_stream(
+                        np.random.default_rng(child),
+                        events=self.calibration_events,
+                    )
+                )
+                for region, child in zip(self.regions, seeds)
+            ]
+        return self._calibrations
+
+    # -- interval construction ----------------------------------------------
+
+    def _stable_interval(
+        self,
+        rng: np.random.Generator,
+        region_index: int,
+        calibration: RegionCalibration,
+    ) -> Interval:
+        region = self.regions[region_index]
+        pcs, counts, submode = region.sample_interval_records(
+            rng,
+            self.interval_instructions,
+            draws=self.draws_per_interval,
+        )
+        cpi = (
+            calibration.cpi
+            * region.submodes[submode].cpi_scale
+            * float(rng.lognormal(mean=0.0, sigma=region.cpi_sigma))
+        )
+        return Interval(
+            branch_pcs=pcs,
+            instr_counts=counts,
+            cpi=cpi,
+            region=region_index,
+            is_transition=False,
+        )
+
+    def _transition_interval(
+        self,
+        rng: np.random.Generator,
+        from_region: int,
+        to_region: int,
+        mix: float,
+    ) -> Interval:
+        """Build one transition interval ``mix`` of the way from A to B."""
+        cfg = self.transitions
+        cals = self.calibrations()
+        instructions = self.interval_instructions
+
+        shares = {
+            "from": (1.0 - mix) * (1.0 - cfg.unique_fraction),
+            "to": mix * (1.0 - cfg.unique_fraction),
+            "unique": cfg.unique_fraction,
+        }
+
+        pcs_parts: List[np.ndarray] = []
+        count_parts: List[np.ndarray] = []
+        for key, region_index in (("from", from_region), ("to", to_region)):
+            share = shares[key]
+            if share <= 0.0:
+                continue
+            region = self.regions[region_index]
+            pcs, counts, _ = region.sample_interval_records(
+                rng,
+                max(int(round(instructions * share)), 1),
+                draws=max(self.draws_per_interval // 2, 1),
+            )
+            pcs_parts.append(pcs)
+            count_parts.append(counts)
+
+        unique_instr = max(int(round(instructions * shares["unique"])), 1)
+        unique_pcs = (
+            _TRANSIENT_CODE_BASE
+            + rng.integers(
+                0, _TRANSIENT_CODE_SPAN // 4, size=cfg.unique_blocks
+            ).astype(np.int64)
+            * 4
+        )
+        unique_weights = rng.dirichlet(np.full(cfg.unique_blocks, 0.8))
+        unique_counts = np.floor(unique_weights * unique_instr).astype(np.int64)
+        unique_counts[int(np.argmax(unique_weights))] += unique_instr - int(
+            unique_counts.sum()
+        )
+        keep = unique_counts > 0
+        pcs_parts.append(unique_pcs[keep])
+        count_parts.append(unique_counts[keep])
+
+        pcs = np.concatenate(pcs_parts)
+        counts = np.concatenate(count_parts)
+        # Force the exact interval length (parts were rounded separately).
+        drift = instructions - int(counts.sum())
+        counts[int(np.argmax(counts))] += drift
+
+        blended_cpi = (1.0 - mix) * cals[from_region].cpi + mix * cals[
+            to_region
+        ].cpi
+        cpi = (
+            blended_cpi
+            * float(rng.uniform(cfg.cpi_scale_low, cfg.cpi_scale_high))
+            * float(rng.lognormal(mean=0.0, sigma=cfg.cpi_sigma))
+        )
+        return Interval(
+            branch_pcs=pcs,
+            instr_counts=counts,
+            cpi=cpi,
+            region=-1,
+            is_transition=True,
+        )
+
+    # -- trace generation ------------------------------------------------------
+
+    def generate(self) -> IntervalTrace:
+        """Produce the full interval trace for this benchmark."""
+        rng = np.random.default_rng(
+            np.random.SeedSequence(self.seed).spawn(len(self.regions) + 1)[-1]
+        )
+        cals = self.calibrations()
+        cfg = self.transitions
+
+        intervals: List[Interval] = []
+        previous_region: Optional[int] = None
+        for segment in self.script.segments:
+            if (
+                previous_region is not None
+                and previous_region != segment.region
+                and rng.random() < cfg.probability
+            ):
+                # Transition length is characteristic of the (from, to)
+                # region pair (real transitions traverse the same glue
+                # code), with occasional jitter.
+                span = cfg.max_length - cfg.min_length + 1
+                run = cfg.min_length + (
+                    (previous_region * 131 + segment.region * 37) % span
+                )
+                if rng.random() < 0.2:
+                    run = int(
+                        rng.integers(cfg.min_length, cfg.max_length + 1)
+                    )
+                for step in range(run):
+                    mix = (step + 1.0) / (run + 1.0)
+                    intervals.append(
+                        self._transition_interval(
+                            rng, previous_region, segment.region, mix
+                        )
+                    )
+            for _ in range(segment.length):
+                intervals.append(
+                    self._stable_interval(
+                        rng, segment.region, cals[segment.region]
+                    )
+                )
+            previous_region = segment.region
+
+        return IntervalTrace(
+            name=self.name,
+            intervals=intervals,
+            interval_instructions=self.interval_instructions,
+            metadata={
+                "num_regions": len(self.regions),
+                "num_segments": self.script.num_segments,
+                "seed": self.seed,
+                "region_cpis": [c.cpi for c in cals],
+            },
+        )

@@ -1,0 +1,105 @@
+"""Interval trace serialization.
+
+Traces are expensive to generate (per-region machine calibration plus
+per-interval sampling), so a downstream user will want to generate once
+and reload. The format is a single ``.npz`` file: flat arrays with an
+index of per-interval record offsets, plus a JSON-encoded metadata
+blob. Round-trips are exact (integer records, float CPIs).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.workloads.trace import Interval, IntervalTrace
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(trace: IntervalTrace, path: "Union[str, Path]") -> Path:
+    """Write a trace to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+
+    offsets = np.zeros(len(trace) + 1, dtype=np.int64)
+    for index, interval in enumerate(trace):
+        offsets[index + 1] = offsets[index] + interval.num_records
+    pcs = np.concatenate([iv.branch_pcs for iv in trace])
+    counts = np.concatenate([iv.instr_counts for iv in trace])
+
+    header = {
+        "version": _FORMAT_VERSION,
+        "name": trace.name,
+        "interval_instructions": trace.interval_instructions,
+        "metadata": trace.metadata,
+    }
+    np.savez_compressed(
+        path,
+        header=np.frombuffer(
+            json.dumps(header, default=float).encode("utf-8"),
+            dtype=np.uint8,
+        ),
+        offsets=offsets,
+        branch_pcs=pcs,
+        instr_counts=counts,
+        cpis=trace.cpis,
+        regions=trace.regions,
+        transitions=trace.transition_mask,
+    )
+    return path
+
+
+def load_trace(path: "Union[str, Path]") -> IntervalTrace:
+    """Read a trace written by :func:`save_trace`."""
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"no trace file at {path}")
+    with np.load(path, allow_pickle=False) as data:
+        try:
+            header = json.loads(bytes(data["header"]).decode("utf-8"))
+            offsets = data["offsets"]
+            pcs = data["branch_pcs"]
+            counts = data["instr_counts"]
+            cpis = data["cpis"]
+            regions = data["regions"]
+            transitions = data["transitions"]
+        except KeyError as missing:
+            raise TraceError(
+                f"{path} is not a trace file (missing {missing})"
+            ) from None
+
+    if header.get("version") != _FORMAT_VERSION:
+        raise TraceError(
+            f"unsupported trace format version {header.get('version')!r}"
+        )
+    num_intervals = offsets.shape[0] - 1
+    if not (
+        cpis.shape[0] == regions.shape[0] == transitions.shape[0]
+        == num_intervals
+    ):
+        raise TraceError(f"{path} has inconsistent interval counts")
+
+    intervals = []
+    for index in range(num_intervals):
+        lo, hi = int(offsets[index]), int(offsets[index + 1])
+        intervals.append(
+            Interval(
+                branch_pcs=pcs[lo:hi],
+                instr_counts=counts[lo:hi],
+                cpi=float(cpis[index]),
+                region=int(regions[index]),
+                is_transition=bool(transitions[index]),
+            )
+        )
+    return IntervalTrace(
+        name=str(header["name"]),
+        intervals=intervals,
+        interval_instructions=int(header["interval_instructions"]),
+        metadata=dict(header.get("metadata", {})),
+    )

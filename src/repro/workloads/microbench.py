@@ -1,0 +1,92 @@
+"""Canonical single-region microbenchmarks.
+
+Small, named :class:`~repro.workloads.basic_block.CodeRegion` factories
+with extreme, well-understood personalities. They serve three roles:
+
+- characterization tests of the machine model (each stresses exactly
+  one structure, so its calibration must show the expected signature);
+- building blocks for user-defined workloads;
+- documentation by example of what each personality knob does.
+
+Each factory takes a :class:`numpy.random.Generator` and returns a
+fully configured region.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.basic_block import CodeRegion
+
+_KB = 1024
+_MB = 1024 * 1024
+
+
+def streaming(rng: np.random.Generator, name: str = "ubench.stream") -> CodeRegion:
+    """Sequential array sweep: near-perfect caches, predictable branches.
+
+    The fastest personality: expect CPI close to 1 / base_ipc.
+    """
+    return CodeRegion(
+        name, rng, num_blocks=16,
+        code_base=0x0100_0000, pattern="strided",
+        working_set_bytes=32 * _KB, loads_per_instr=0.3,
+        hot_fraction=0.9, loop_fraction=0.9, data_bias=0.95,
+        base_ipc=3.0, cpi_sigma=0.01,
+    )
+
+
+def pointer_chase(
+    rng: np.random.Generator, name: str = "ubench.chase"
+) -> CodeRegion:
+    """Dependent loads over a list far beyond the L2: memory-bound.
+
+    Expect the highest CPI of the set, dominated by L2 misses.
+    """
+    return CodeRegion(
+        name, rng, num_blocks=16,
+        code_base=0x0200_0000, pattern="pointer",
+        working_set_bytes=8 * _MB, loads_per_instr=0.5,
+        hot_fraction=0.5, loop_fraction=0.6, data_bias=0.8,
+        base_ipc=1.5, cpi_sigma=0.02,
+    )
+
+
+def branchy(rng: np.random.Generator, name: str = "ubench.branchy") -> CodeRegion:
+    """Data-dependent branches near coin-flip bias: predictor-bound.
+
+    Expect the highest branch misprediction ratio of the set.
+    """
+    return CodeRegion(
+        name, rng, num_blocks=24,
+        code_base=0x0300_0000, pattern="strided",
+        working_set_bytes=16 * _KB, loads_per_instr=0.25,
+        hot_fraction=0.9, loop_fraction=0.05, data_bias=0.55,
+        base_ipc=2.0, cpi_sigma=0.02,
+    )
+
+
+def icache_heavy(
+    rng: np.random.Generator, name: str = "ubench.icache"
+) -> CodeRegion:
+    """Code footprint far beyond the 16 KB L1 I-cache: fetch-bound.
+
+    Expect the highest I-cache miss ratio of the set.
+    """
+    return CodeRegion(
+        name, rng, num_blocks=60,
+        code_base=0x0400_0000, code_bytes=256 * _KB,
+        pattern="strided",
+        working_set_bytes=16 * _KB, loads_per_instr=0.25,
+        hot_fraction=0.9, loop_fraction=0.5, data_bias=0.8,
+        base_ipc=2.0, cpi_sigma=0.02,
+    )
+
+
+#: All factories by name, for sweeps.
+ALL_MICROBENCHMARKS = {
+    "stream": streaming,
+    "chase": pointer_chase,
+    "branchy": branchy,
+    "icache": icache_heavy,
+}

@@ -1,0 +1,156 @@
+"""Workload-model diagnostics: will a classifier be able to see this?
+
+A synthetic workload is only useful if its structure is *classifiable*:
+intervals of one region must produce signatures within the similarity
+threshold of each other, and different regions must sit safely outside
+it. This module measures those margins directly — the analysis used to
+tune the shipped SPEC 2000 models — so users building custom workloads
+(see ``examples/custom_workload.py``) can check their design before
+running experiments.
+
+The report answers three questions per region pair:
+
+- within-region jitter: the typical signature distance between two
+  intervals of the same region (should be well under the threshold);
+- cross-region separation: the typical distance between intervals of
+  different regions (should be well over it);
+- margin: separation minus jitter, in threshold units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.classifier import PhaseClassifier
+from repro.core.config import ClassifierConfig
+from repro.core.distance import relative_distance
+from repro.errors import ConfigurationError
+from repro.workloads.basic_block import CodeRegion
+from repro.workloads.trace import Interval
+
+
+@dataclass(frozen=True)
+class SeparabilityReport:
+    """Signature-space geometry of a set of code regions.
+
+    Distances are relative (0 = identical, 1 = disjoint), measured with
+    the classifier configuration supplied to :func:`check_separability`.
+    """
+
+    within_jitter: Dict[int, float]
+    within_jitter_p95: Dict[int, float]
+    cross_separation: Dict[Tuple[int, int], float]
+    threshold: float
+
+    @property
+    def max_jitter(self) -> float:
+        return max(self.within_jitter_p95.values())
+
+    @property
+    def min_separation(self) -> float:
+        if not self.cross_separation:
+            return float("inf")
+        return min(self.cross_separation.values())
+
+    @property
+    def classifiable(self) -> bool:
+        """Jitter safely inside the threshold, separation safely outside.
+
+        Uses a 10% guard band on both sides: borderline models classify
+        erratically (signature replacement drift can push them over).
+        """
+        return (
+            self.max_jitter < self.threshold * 0.9
+            and self.min_separation > self.threshold * 1.1
+        )
+
+    def ambiguous_pairs(self) -> List[Tuple[int, int]]:
+        """Region pairs whose separation falls inside the guard band
+        around the threshold — candidates for classification flapping
+        (this is what makes ``galgel`` hard by design)."""
+        return sorted(
+            pair
+            for pair, distance in self.cross_separation.items()
+            if distance <= self.threshold * 1.1
+        )
+
+    def summary(self) -> str:
+        lines = [
+            f"separability at threshold {self.threshold:.3f}:",
+            f"  worst within-region jitter (p95): {self.max_jitter:.3f}",
+            f"  smallest cross-region separation: "
+            f"{self.min_separation:.3f}",
+            f"  classifiable: {'yes' if self.classifiable else 'NO'}",
+        ]
+        ambiguous = self.ambiguous_pairs()
+        if ambiguous:
+            pairs = ", ".join(f"{a}-{b}" for a, b in ambiguous)
+            lines.append(f"  ambiguous region pairs: {pairs}")
+        return "\n".join(lines)
+
+
+def check_separability(
+    regions: Sequence[CodeRegion],
+    config: "ClassifierConfig | None" = None,
+    samples_per_region: int = 8,
+    interval_instructions: int = 1_000_000,
+    seed: int = 0,
+) -> SeparabilityReport:
+    """Measure signature-space margins of a set of code regions.
+
+    For each region, ``samples_per_region`` interval signatures are
+    drawn; within-region jitter is the mean (and p95) pairwise distance
+    among them, cross-region separation the mean distance between the
+    samples of each pair of regions.
+    """
+    if not regions:
+        raise ConfigurationError("at least one region is required")
+    if samples_per_region < 2:
+        raise ConfigurationError(
+            f"samples_per_region must be >= 2, got {samples_per_region}"
+        )
+    config = config or ClassifierConfig()
+    classifier = PhaseClassifier(config)
+    rng = np.random.default_rng(seed)
+
+    signatures: List[List] = []
+    for region in regions:
+        region_signatures = []
+        for _ in range(samples_per_region):
+            pcs, counts, _ = region.sample_interval_records(
+                rng, interval_instructions
+            )
+            interval = Interval(pcs, counts, cpi=1.0)
+            region_signatures.append(classifier.signature_for(interval))
+        signatures.append(region_signatures)
+
+    within: Dict[int, float] = {}
+    within_p95: Dict[int, float] = {}
+    for index, sigs in enumerate(signatures):
+        distances = [
+            relative_distance(sigs[i], sigs[j])
+            for i in range(len(sigs))
+            for j in range(i + 1, len(sigs))
+        ]
+        within[index] = float(np.mean(distances))
+        within_p95[index] = float(np.percentile(distances, 95))
+
+    cross: Dict[Tuple[int, int], float] = {}
+    for a in range(len(signatures)):
+        for b in range(a + 1, len(signatures)):
+            distances = [
+                relative_distance(sa, sb)
+                for sa in signatures[a]
+                for sb in signatures[b]
+            ]
+            cross[(a, b)] = float(np.mean(distances))
+
+    return SeparabilityReport(
+        within_jitter=within,
+        within_jitter_p95=within_p95,
+        cross_separation=cross,
+        threshold=config.similarity_threshold,
+    )

@@ -1,0 +1,107 @@
+"""Tests for labeling-agreement metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.agreement import (
+    adjusted_rand_index,
+    contingency_table,
+    purity,
+    region_agreement,
+)
+from repro.errors import TraceError
+
+
+class TestContingency:
+    def test_basic_table(self):
+        table = contingency_table([1, 1, 2, 2], [0, 0, 0, 1])
+        assert table.tolist() == [[2, 0], [1, 1]]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(TraceError):
+            contingency_table([1, 2], [1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            contingency_table([], [])
+
+
+class TestPurity:
+    def test_identical_partitions(self):
+        assert purity([1, 1, 2, 2], [5, 5, 9, 9]) == 1.0
+
+    def test_relabeling_invariant(self):
+        a = [1, 1, 2, 2, 3]
+        b = [30, 30, 10, 10, 20]
+        assert purity(a, b) == 1.0
+
+    def test_half_mixed(self):
+        # Cluster 1 = {A, A}, cluster 2 = {A, B}: purity 3/4.
+        assert purity([1, 1, 2, 2], [0, 0, 0, 1]) == pytest.approx(0.75)
+
+    def test_single_cluster_purity_is_majority_share(self):
+        assert purity([1] * 4, [0, 0, 0, 1]) == pytest.approx(0.75)
+
+
+class TestARI:
+    def test_identical_is_one(self):
+        labels = [1, 1, 2, 3, 3, 3]
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+    def test_permuted_labels_still_one(self):
+        assert adjusted_rand_index(
+            [1, 1, 2, 2], [7, 7, 3, 3]
+        ) == pytest.approx(1.0)
+
+    def test_random_relabeling_near_zero(self):
+        rng = np.random.default_rng(0)
+        reference = rng.integers(0, 4, size=2000)
+        shuffled = rng.permutation(reference)
+        assert abs(adjusted_rand_index(shuffled, reference)) < 0.05
+
+    def test_partial_agreement_between_zero_and_one(self):
+        a = [1, 1, 1, 2, 2, 2]
+        b = [1, 1, 2, 2, 2, 2]
+        score = adjusted_rand_index(a, b)
+        assert 0.0 < score < 1.0
+
+    def test_degenerate_single_clusters(self):
+        assert adjusted_rand_index([1, 1, 1], [2, 2, 2]) == 1.0
+
+    def test_symmetry(self):
+        a = [1, 1, 2, 2, 3, 3]
+        b = [1, 2, 2, 3, 3, 3]
+        assert adjusted_rand_index(a, b) == pytest.approx(
+            adjusted_rand_index(b, a)
+        )
+
+
+class TestRegionAgreement:
+    def test_transitions_excluded(self):
+        phase_ids = [0, 1, 1, 2, 2, 0]
+        regions = [-1, 0, 0, 1, 1, -1]
+        result = region_agreement(phase_ids, regions)
+        assert result["purity"] == 1.0
+        assert result["ari"] == pytest.approx(1.0)
+        assert result["intervals"] == 4
+
+    def test_all_transition_rejected(self):
+        with pytest.raises(TraceError):
+            region_agreement([0, 0], [-1, -1])
+
+    def test_keep_transitions_option(self):
+        result = region_agreement(
+            [0, 1], [-1, 0], ignore_transitions=False
+        )
+        assert result["intervals"] == 2
+
+    def test_real_classification_agrees_with_ground_truth(
+        self, small_trace, classified_small
+    ):
+        result = region_agreement(
+            classified_small.phase_ids, small_trace.regions
+        )
+        # The classifier never sees region labels, yet must recover
+        # most of the structure.
+        assert result["purity"] > 0.7
+        assert result["ari"] > 0.4

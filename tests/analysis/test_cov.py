@@ -1,0 +1,108 @@
+"""Unit tests for the CoV-of-CPI metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cov import cov_of, per_phase_cov, weighted_cov
+from repro.core.events import ClassificationResult, ClassificationRun
+from repro.errors import TraceError
+from repro.workloads.trace import Interval, IntervalTrace
+
+
+def run_for(ids):
+    return ClassificationRun(
+        results=[
+            ClassificationResult(phase_id=i, matched=True, distance=0.0)
+            for i in ids
+        ],
+        num_phases=len({i for i in ids if i != 0}),
+        evictions=0,
+    )
+
+
+def trace_for(cpis):
+    return IntervalTrace(
+        name="t",
+        intervals=[
+            Interval(
+                branch_pcs=np.array([4]),
+                instr_counts=np.array([100]),
+                cpi=c,
+            )
+            for c in cpis
+        ],
+    )
+
+
+class TestCovOf:
+    def test_constant_values_zero(self):
+        assert cov_of(np.array([2.0, 2.0, 2.0])) == 0.0
+
+    def test_known_value(self):
+        values = np.array([1.0, 3.0])
+        assert cov_of(values) == pytest.approx(1.0 / 2.0)
+
+    def test_single_value_zero(self):
+        assert cov_of(np.array([5.0])) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            cov_of(np.array([]))
+
+    def test_zero_mean_rejected(self):
+        with pytest.raises(TraceError):
+            cov_of(np.array([0.0, 0.0]))
+
+
+class TestPerPhaseCov:
+    def test_groups_by_phase(self):
+        run = run_for([1, 1, 2, 2])
+        trace = trace_for([1.0, 3.0, 2.0, 2.0])
+        covs = per_phase_cov(run, trace)
+        assert covs[1] == pytest.approx(0.5)
+        assert covs[2] == 0.0
+
+    def test_transition_excluded_by_default(self):
+        run = run_for([0, 1, 1])
+        trace = trace_for([9.0, 1.0, 1.0])
+        covs = per_phase_cov(run, trace)
+        assert 0 not in covs
+
+    def test_transition_included_on_request(self):
+        run = run_for([0, 0, 1])
+        trace = trace_for([1.0, 3.0, 1.0])
+        covs = per_phase_cov(run, trace, include_transition=True)
+        assert covs[0] == pytest.approx(0.5)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(TraceError):
+            per_phase_cov(run_for([1, 1]), trace_for([1.0]))
+
+
+class TestWeightedCov:
+    def test_weights_by_interval_share(self):
+        # Phase 1: 3 intervals CoV x; phase 2: 1 interval CoV 0.
+        run = run_for([1, 1, 1, 2])
+        trace = trace_for([1.0, 2.0, 3.0, 5.0])
+        phase1_cov = cov_of(np.array([1.0, 2.0, 3.0]))
+        expected = 0.75 * phase1_cov + 0.25 * 0.0
+        assert weighted_cov(run, trace) == pytest.approx(expected)
+
+    def test_transition_excluded_from_weights(self):
+        run = run_for([0, 0, 1, 1])
+        trace = trace_for([10.0, 90.0, 1.0, 1.0])
+        # Only phase 1 counts, and its CoV is zero.
+        assert weighted_cov(run, trace) == 0.0
+
+    def test_all_transition_returns_zero(self):
+        run = run_for([0, 0])
+        trace = trace_for([1.0, 2.0])
+        assert weighted_cov(run, trace) == 0.0
+
+    def test_perfect_classification_beats_merged(self):
+        # Two behaviours with different CPI: classifying them apart
+        # yields lower weighted CoV than lumping them together.
+        cpis = [1.0, 1.1, 1.0, 3.0, 3.1, 3.0]
+        split = weighted_cov(run_for([1, 1, 1, 2, 2, 2]), trace_for(cpis))
+        merged = weighted_cov(run_for([1, 1, 1, 1, 1, 1]), trace_for(cpis))
+        assert split < merged

@@ -1,0 +1,89 @@
+"""Tests for the hardware storage-cost model."""
+
+import pytest
+
+from repro.analysis.hardware import (
+    HardwareBudget,
+    classifier_budget,
+    full_architecture_budget,
+    predictor_budget,
+)
+from repro.core.config import ClassifierConfig
+from repro.errors import ConfigurationError
+
+
+class TestClassifierBudget:
+    def test_paper_default_fits_in_a_few_hundred_bytes(self):
+        budget = classifier_budget(ClassifierConfig.paper_default())
+        assert 100 < budget.total_bytes < 2048
+
+    def test_accumulator_bits_exact(self):
+        budget = classifier_budget(ClassifierConfig(num_counters=16))
+        assert budget.accumulator_bits == 16 * 24
+
+    def test_adaptive_costs_more(self):
+        plain = classifier_budget(
+            ClassifierConfig(perf_dev_threshold=None)
+        )
+        adaptive = classifier_budget(
+            ClassifierConfig(perf_dev_threshold=0.25)
+        )
+        assert adaptive.total_bits > plain.total_bits
+
+    def test_more_counters_cost_more(self):
+        small = classifier_budget(ClassifierConfig(num_counters=16))
+        large = classifier_budget(ClassifierConfig(num_counters=64))
+        assert large.total_bits > small.total_bits
+
+    def test_infinite_table_rejected(self):
+        with pytest.raises(ConfigurationError):
+            classifier_budget(ClassifierConfig(table_entries=None))
+
+
+class TestPredictorBudget:
+    def test_32_entry_table_small(self):
+        budget = predictor_budget(entries=32)
+        assert budget.total_bytes < 512
+
+    def test_top4_variant_costs_more(self):
+        single = predictor_budget(outcomes_per_entry=1)
+        top4 = predictor_budget(outcomes_per_entry=4)
+        assert top4.total_bits > single.total_bits
+
+    def test_length_predictor_extra(self):
+        plain = predictor_budget()
+        length = predictor_budget(length_predictor=True)
+        assert length.total_bits > plain.total_bits
+
+    @pytest.mark.parametrize("kwargs", [
+        {"entries": 0},
+        {"rle_depth": -1},
+        {"outcomes_per_entry": 0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            predictor_budget(**kwargs)
+
+
+class TestFullBudget:
+    def test_sum_of_parts(self):
+        config = ClassifierConfig.paper_default()
+        full = full_architecture_budget(config)
+        classifier = classifier_budget(config)
+        assert full.accumulator_bits == classifier.accumulator_bits
+        assert full.signature_table_bits == classifier.signature_table_bits
+        assert full.change_table_bits > 0
+
+    def test_whole_architecture_under_2kb(self):
+        """The headline implementability claim: everything fits in a
+        couple of kilobytes of SRAM."""
+        budget = full_architecture_budget(ClassifierConfig.paper_default())
+        assert budget.total_bytes < 2048
+
+    def test_without_length_predictor_cheaper(self):
+        config = ClassifierConfig.paper_default()
+        with_length = full_architecture_budget(config)
+        without = full_architecture_budget(
+            config, with_length_predictor=False
+        )
+        assert without.total_bits < with_length.total_bits

@@ -1,0 +1,37 @@
+"""Unit tests for stable/transition length statistics."""
+
+import pytest
+
+from repro.analysis.phase_stats import phase_length_summary
+
+
+class TestPhaseLengthSummary:
+    def test_stable_and_transition_separated(self):
+        # stable runs: [1]*10, [2]*6; transition runs: [0]*2, [0]*2.
+        stream = [1] * 10 + [0] * 2 + [2] * 6 + [0] * 2 + [1] * 4
+        summary = phase_length_summary(stream)
+        assert summary.stable_count == 3
+        assert summary.transition_count == 2
+        assert summary.stable_mean == pytest.approx((10 + 6 + 4) / 3)
+        assert summary.transition_mean == pytest.approx(2.0)
+
+    def test_stable_dominates(self):
+        stream = [1] * 20 + [0] + [2] * 20
+        summary = phase_length_summary(stream)
+        assert summary.stable_dominates
+
+    def test_no_transitions(self):
+        summary = phase_length_summary([1] * 5 + [2] * 5)
+        assert summary.transition_count == 0
+        assert summary.transition_mean == 0.0
+
+    def test_all_transition(self):
+        summary = phase_length_summary([0] * 5)
+        assert summary.stable_count == 0
+        assert summary.transition_count == 1
+        assert not summary.stable_dominates
+
+    def test_std_deviation(self):
+        stream = [1] * 2 + [0] + [2] * 6
+        summary = phase_length_summary(stream)
+        assert summary.stable_std == pytest.approx(2.0)  # std of (2, 6)

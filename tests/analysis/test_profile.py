@@ -1,0 +1,118 @@
+"""Tests for per-phase profiling."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.profile import (
+    format_profile_table,
+    profile_phases,
+    top_phases,
+)
+from repro.core.events import ClassificationResult, ClassificationRun
+from repro.errors import TraceError
+from repro.workloads.trace import Interval, IntervalTrace
+
+
+def run_for(ids):
+    return ClassificationRun(
+        results=[
+            ClassificationResult(phase_id=i, matched=True, distance=0.0)
+            for i in ids
+        ],
+        num_phases=len({i for i in ids if i != 0}),
+        evictions=0,
+    )
+
+
+def trace_for(cpis, instructions=1000):
+    return IntervalTrace(
+        "t",
+        [
+            Interval(np.array([4]), np.array([instructions]), cpi=c)
+            for c in cpis
+        ],
+    )
+
+
+class TestProfilePhases:
+    def test_basic_aggregates(self):
+        run = run_for([1, 1, 2, 1])
+        trace = trace_for([1.0, 3.0, 5.0, 2.0])
+        profiles = profile_phases(run, trace)
+        p1 = profiles[1]
+        assert p1.intervals == 3
+        assert p1.occupancy == pytest.approx(0.75)
+        assert p1.cpi_mean == pytest.approx(2.0)
+        assert p1.runs == 2
+        assert p1.mean_run_length == pytest.approx(1.5)
+        assert p1.longest_run == 2
+        assert p1.first_interval == 0
+        assert p1.last_interval == 3
+        assert p1.instructions == 3000
+        assert p1.recurrent
+
+    def test_single_run_not_recurrent(self):
+        profiles = profile_phases(
+            run_for([1, 1, 1]), trace_for([1.0, 1.0, 1.0])
+        )
+        assert not profiles[1].recurrent
+
+    def test_transition_profile_flagged(self):
+        profiles = profile_phases(
+            run_for([0, 1]), trace_for([1.0, 1.0])
+        )
+        assert profiles[0].is_transition
+        assert not profiles[1].is_transition
+
+    def test_cov_computed(self):
+        profiles = profile_phases(
+            run_for([1, 1]), trace_for([1.0, 3.0])
+        )
+        assert profiles[1].cpi_cov == pytest.approx(0.5)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(TraceError):
+            profile_phases(run_for([1]), trace_for([1.0, 2.0]))
+
+    def test_real_benchmark_profiles(self, small_trace, classified_small):
+        profiles = profile_phases(classified_small, small_trace)
+        assert sum(p.occupancy for p in profiles.values()) == (
+            pytest.approx(1.0)
+        )
+        assert sum(p.intervals for p in profiles.values()) == len(
+            small_trace
+        )
+
+
+class TestTopPhases:
+    def test_ordered_by_occupancy(self):
+        profiles = profile_phases(
+            run_for([1, 2, 2, 2, 0]), trace_for([1.0] * 5)
+        )
+        top = top_phases(profiles, count=2)
+        assert [p.phase_id for p in top] == [2, 1]
+
+    def test_transition_excluded_by_default(self):
+        profiles = profile_phases(
+            run_for([0, 0, 0, 1]), trace_for([1.0] * 4)
+        )
+        top = top_phases(profiles)
+        assert all(not p.is_transition for p in top)
+
+    def test_count_respected(self):
+        profiles = profile_phases(
+            run_for([1, 2, 3, 4, 5]), trace_for([1.0] * 5)
+        )
+        assert len(top_phases(profiles, count=3)) == 3
+
+
+class TestFormatting:
+    def test_table_contains_phases(self):
+        profiles = profile_phases(
+            run_for([0, 1, 1, 2]), trace_for([1.0, 2.0, 2.1, 3.0])
+        )
+        table = format_profile_table(profiles)
+        assert "trans" in table
+        assert "occup" in table
+        lines = table.splitlines()
+        assert len(lines) == 2 + 3  # header + rule + three phases

@@ -1,0 +1,75 @@
+"""Unit tests for run extraction and histograms."""
+
+import pytest
+
+from repro.analysis.runs import (
+    PhaseRun,
+    extract_runs,
+    run_length_histogram,
+    runs_by_phase,
+)
+from repro.errors import TraceError
+
+
+class TestExtractRuns:
+    def test_single_run(self):
+        runs = extract_runs([1, 1, 1])
+        assert len(runs) == 1
+        assert runs[0] == PhaseRun(phase_id=1, start=0, length=3)
+
+    def test_multiple_runs(self):
+        runs = extract_runs([1, 1, 2, 0, 0, 0, 1])
+        assert [(r.phase_id, r.start, r.length) for r in runs] == [
+            (1, 0, 2), (2, 2, 1), (0, 3, 3), (1, 6, 1),
+        ]
+
+    def test_lengths_sum_to_stream_length(self):
+        stream = [1, 2, 2, 3, 3, 3, 1, 1]
+        assert sum(r.length for r in extract_runs(stream)) == len(stream)
+
+    def test_is_transition_flag(self):
+        runs = extract_runs([0, 1])
+        assert runs[0].is_transition
+        assert not runs[1].is_transition
+
+    def test_end_property(self):
+        run = PhaseRun(phase_id=1, start=3, length=4)
+        assert run.end == 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            extract_runs([])
+
+
+class TestHistogram:
+    def test_paper_classes(self):
+        runs = [
+            PhaseRun(1, 0, 5),       # class 0
+            PhaseRun(2, 5, 16),      # class 1
+            PhaseRun(3, 21, 500),    # class 2
+            PhaseRun(4, 521, 2000),  # class 3
+            PhaseRun(5, 2521, 1),    # class 0
+        ]
+        histogram = run_length_histogram(runs, (1, 16, 128, 1024))
+        assert histogram.tolist() == [2, 1, 1, 1]
+
+    def test_boundaries_inclusive(self):
+        runs = [PhaseRun(1, 0, 15), PhaseRun(2, 15, 16)]
+        histogram = run_length_histogram(runs, (1, 16))
+        assert histogram.tolist() == [1, 1]
+
+    def test_invalid_bounds(self):
+        with pytest.raises(TraceError):
+            run_length_histogram([], (16, 1))
+        with pytest.raises(TraceError):
+            run_length_histogram([], (0, 16))
+        with pytest.raises(TraceError):
+            run_length_histogram([], ())
+
+
+class TestGrouping:
+    def test_runs_by_phase(self):
+        runs = extract_runs([1, 2, 1, 1])
+        grouped = runs_by_phase(runs)
+        assert len(grouped[1]) == 2
+        assert len(grouped[2]) == 1

@@ -1,0 +1,59 @@
+"""Unit tests for plain-text table rendering."""
+
+import pytest
+
+from repro.analysis.tables import format_value, render_table
+
+
+class TestFormatValue:
+    def test_percent(self):
+        assert format_value(0.254, percent=True) == "25.4"
+
+    def test_int(self):
+        assert format_value(42) == "42"
+
+    def test_float_digits(self):
+        assert format_value(3.14159, digits=2) == "3.14"
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            format_value(True)
+
+
+class TestRenderTable:
+    def test_rows_and_average(self):
+        out = render_table(
+            "My Table",
+            ["a", "b"],
+            {"x": [1.0, 3.0], "y": [2.0, 4.0]},
+        )
+        assert "My Table" in out
+        lines = out.splitlines()
+        assert lines[-1].split() == ["avg", "2.0", "3.0"]
+
+    def test_no_average_row(self):
+        out = render_table(
+            "T", ["a"], {"x": [1.0]}, average_row=False
+        )
+        assert "avg" not in out
+
+    def test_percent_scaling(self):
+        out = render_table("T", ["a"], {"x": [0.5]}, percent=True)
+        assert "50.0" in out
+
+    def test_columns_aligned(self):
+        out = render_table(
+            "T", ["short", "a-much-longer-label"],
+            {"value": [1.0, 2.0]},
+        )
+        lines = [l for l in out.splitlines()[1:] if l.strip()]
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines padded to the same width
+
+    def test_mismatched_column_length_rejected(self):
+        with pytest.raises(ValueError):
+            render_table("T", ["a", "b"], {"x": [1.0]})
+
+    def test_integer_column_renders_without_decimals(self):
+        out = render_table("T", ["a"], {"n": [7]}, average_row=False)
+        assert " 7" in out and "7.0" not in out

@@ -1,0 +1,136 @@
+"""Tests for the Duesterwald-style metric predictors."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.metric_prediction import (
+    EWMAPredictor,
+    HistoryTablePredictor,
+    LastValueMetricPredictor,
+    PhaseBasedMetricPredictor,
+    evaluate_metric_predictor,
+)
+from repro.errors import ConfigurationError, PredictionError
+
+
+class TestLastValue:
+    def test_predicts_latest(self):
+        predictor = LastValueMetricPredictor()
+        assert predictor.predict() is None
+        predictor.observe(2.0)
+        assert predictor.predict() == 2.0
+        predictor.observe(3.0)
+        assert predictor.predict() == 3.0
+
+
+class TestEWMA:
+    def test_alpha_one_is_last_value(self):
+        predictor = EWMAPredictor(alpha=1.0)
+        predictor.observe(1.0)
+        predictor.observe(5.0)
+        assert predictor.predict() == 5.0
+
+    def test_smoothing(self):
+        predictor = EWMAPredictor(alpha=0.5)
+        predictor.observe(1.0)
+        predictor.observe(3.0)
+        assert predictor.predict() == pytest.approx(2.0)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ConfigurationError):
+            EWMAPredictor(alpha=0.0)
+
+
+class TestHistoryTable:
+    def test_learns_periodic_values(self):
+        predictor = HistoryTablePredictor(history=2)
+        pattern = [1.0, 1.0, 4.0] * 8
+        predictions = []
+        for value in pattern:
+            predictions.append(predictor.predict())
+            predictor.observe(value)
+        # After one lap, the pattern (1, 1) -> 4 is learned.
+        late = [
+            (p, actual)
+            for p, actual in zip(predictions[6:], pattern[6:])
+            if actual == 4.0 and p is not None
+        ]
+        assert late
+        assert all(p == pytest.approx(4.0) for p, _ in late)
+
+    def test_miss_falls_back_to_last_value(self):
+        predictor = HistoryTablePredictor(history=2)
+        predictor.observe(1.0)
+        assert predictor.predict() == 1.0
+
+    def test_table_capacity_bounded(self):
+        predictor = HistoryTablePredictor(history=1, entries=4)
+        for value in np.linspace(1, 100, 50):
+            predictor.observe(float(value))
+        assert len(predictor._table) <= 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HistoryTablePredictor(history=0)
+        with pytest.raises(ConfigurationError):
+            HistoryTablePredictor(bucket_percent=0)
+        with pytest.raises(ConfigurationError):
+            HistoryTablePredictor(entries=0)
+
+
+class TestPhaseBased:
+    def test_predicts_phase_running_mean(self):
+        predictor = PhaseBasedMetricPredictor()
+        predictor.observe(1, 2.0)
+        predictor.observe(1, 4.0)
+        assert predictor.predict() == pytest.approx(3.0)
+
+    def test_per_phase_isolation(self):
+        predictor = PhaseBasedMetricPredictor()
+        predictor.observe(1, 1.0)
+        predictor.observe(2, 10.0)
+        assert predictor.predict() == pytest.approx(10.0)
+        predictor.observe(1, 1.0)
+        assert predictor.predict() == pytest.approx(1.0)
+
+
+class TestEvaluation:
+    def test_perfectly_stable_stream_zero_error(self):
+        stats = evaluate_metric_predictor(
+            [2.0] * 20, LastValueMetricPredictor()
+        )
+        assert stats.mape == 0.0
+        assert stats.mean_absolute_error == 0.0
+
+    def test_phase_based_beats_last_value_on_alternation(self):
+        # Two phases with distinct CPIs alternating predictably by
+        # phase ID: the phase-based predictor nails both levels once
+        # trained; last-value is wrong at every boundary.
+        values = []
+        phases = []
+        for _ in range(30):
+            values += [1.0] * 3 + [5.0] * 3
+            phases += [1] * 3 + [2] * 3
+        # Shift phases by one: the phase stream is what the *next*
+        # interval is, mirroring prediction through a phase predictor.
+        lv = evaluate_metric_predictor(values, LastValueMetricPredictor())
+        pb = evaluate_metric_predictor(
+            values, PhaseBasedMetricPredictor(), phase_ids=phases
+        )
+        assert pb.mape <= lv.mape
+
+    def test_too_short_stream_rejected(self):
+        with pytest.raises(PredictionError):
+            evaluate_metric_predictor([1.0], LastValueMetricPredictor())
+
+    def test_phase_ids_required_for_phase_based(self):
+        with pytest.raises(PredictionError):
+            evaluate_metric_predictor(
+                [1.0, 2.0], PhaseBasedMetricPredictor()
+            )
+
+    def test_within_10_fraction_populated(self):
+        stats = evaluate_metric_predictor(
+            [1.0, 1.0, 1.05, 2.0], LastValueMetricPredictor()
+        )
+        assert stats.accuracy_within_10_percent == pytest.approx(2 / 3)

@@ -1,0 +1,119 @@
+"""Tests for the working-set signature phase detector."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.working_set import (
+    WorkingSetClassifier,
+    WorkingSetConfig,
+    WorkingSetSignature,
+)
+from repro.errors import ConfigurationError
+from repro.workloads.trace import Interval, IntervalTrace
+
+
+def interval_for(pcs, instructions=1000):
+    pcs = np.asarray(pcs, dtype=np.int64)
+    counts = np.full(pcs.shape, instructions // max(len(pcs), 1),
+                     dtype=np.int64)
+    counts[0] += instructions - counts.sum()
+    return Interval(pcs, counts, cpi=1.0)
+
+
+PCS_A = np.arange(0x1000, 0x1000 + 64 * 32, 32)
+PCS_B = np.arange(0x90000, 0x90000 + 64 * 32, 32)
+
+
+class TestConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"signature_bits": 1000},
+        {"signature_bits": 0},
+        {"granularity_bytes": 33},
+        {"threshold": 0.0},
+        {"threshold": 1.5},
+        {"table_entries": 0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            WorkingSetConfig(**kwargs)
+
+
+class TestSignature:
+    def test_identical_intervals_zero_distance(self):
+        config = WorkingSetConfig()
+        a = WorkingSetSignature.from_interval(interval_for(PCS_A), config)
+        b = WorkingSetSignature.from_interval(interval_for(PCS_A), config)
+        assert a.distance(b) == 0.0
+
+    def test_disjoint_code_distance_near_one(self):
+        config = WorkingSetConfig()
+        a = WorkingSetSignature.from_interval(interval_for(PCS_A), config)
+        b = WorkingSetSignature.from_interval(interval_for(PCS_B), config)
+        assert a.distance(b) > 0.8
+
+    def test_distance_symmetric_and_bounded(self):
+        config = WorkingSetConfig()
+        a = WorkingSetSignature.from_interval(interval_for(PCS_A), config)
+        b = WorkingSetSignature.from_interval(
+            interval_for(np.concatenate([PCS_A[:32], PCS_B[:32]])), config
+        )
+        assert a.distance(b) == b.distance(a)
+        assert 0.0 < a.distance(b) < 1.0
+
+    def test_membership_only_weights_ignored(self):
+        """The defining difference from accumulator signatures: the
+        execution mix does not matter, only membership."""
+        config = WorkingSetConfig()
+        light = interval_for(PCS_A)
+        heavy = Interval(
+            PCS_A,
+            np.linspace(1, 1000, len(PCS_A)).astype(np.int64),
+            cpi=1.0,
+        )
+        a = WorkingSetSignature.from_interval(light, config)
+        b = WorkingSetSignature.from_interval(heavy, config)
+        assert a.distance(b) == 0.0
+
+    def test_population(self):
+        config = WorkingSetConfig(signature_bits=1024)
+        sig = WorkingSetSignature.from_interval(interval_for(PCS_A), config)
+        assert 0 < sig.population <= 64
+
+    def test_granularity_merges_nearby_pcs(self):
+        config = WorkingSetConfig(granularity_bytes=4096)
+        # All PCS_A fall in one or two 4K units.
+        sig = WorkingSetSignature.from_interval(interval_for(PCS_A), config)
+        assert sig.population <= 2
+
+
+class TestClassifier:
+    def test_same_code_same_phase(self):
+        classifier = WorkingSetClassifier()
+        first = classifier.classify_interval(interval_for(PCS_A))
+        second = classifier.classify_interval(interval_for(PCS_A))
+        assert second.matched
+        assert second.phase_id == first.phase_id
+
+    def test_different_code_new_phase(self):
+        classifier = WorkingSetClassifier()
+        a = classifier.classify_interval(interval_for(PCS_A))
+        b = classifier.classify_interval(interval_for(PCS_B))
+        assert b.phase_id != a.phase_id
+
+    def test_trace_driver(self):
+        intervals = [interval_for(PCS_A) for _ in range(3)]
+        intervals += [interval_for(PCS_B) for _ in range(3)]
+        run = WorkingSetClassifier().classify_trace(
+            IntervalTrace("t", intervals)
+        )
+        assert run.num_phases == 2
+        assert len(run) == 6
+
+    def test_lru_eviction(self):
+        config = WorkingSetConfig(table_entries=1)
+        classifier = WorkingSetClassifier(config)
+        classifier.classify_interval(interval_for(PCS_A))
+        classifier.classify_interval(interval_for(PCS_B))
+        again = classifier.classify_interval(interval_for(PCS_A))
+        assert not again.matched
+        assert classifier.evictions == 2

@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite.
+
+Traces are expensive to generate, so session-scoped fixtures build a
+small benchmark trace once and share it. Tests that mutate state build
+their own objects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ClassifierConfig, PhaseClassifier
+from repro.workloads import CodeRegion, benchmark
+from repro.workloads.trace import Interval, IntervalTrace
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG, fresh per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_trace() -> IntervalTrace:
+    """A short gzip/p trace shared across the session (read-only)."""
+    return benchmark("gzip/p", scale=0.15)
+
+
+@pytest.fixture(scope="session")
+def classified_small(small_trace):
+    """The small trace classified with the paper-default configuration."""
+    classifier = PhaseClassifier(ClassifierConfig.paper_default())
+    return classifier.classify_trace(small_trace)
+
+
+@pytest.fixture
+def tiny_region(rng) -> CodeRegion:
+    """A minimal region for unit tests (cheap to sample)."""
+    return CodeRegion(
+        "tiny",
+        rng,
+        num_blocks=8,
+        code_base=0x1000,
+        code_bytes=4096,
+        working_set_bytes=8 * 1024,
+    )
+
+
+def make_interval(
+    pcs, counts, cpi: float = 1.0, region: int = 0,
+    is_transition: bool = False,
+) -> Interval:
+    """Convenience constructor used across test modules."""
+    return Interval(
+        branch_pcs=np.asarray(pcs, dtype=np.int64),
+        instr_counts=np.asarray(counts, dtype=np.int64),
+        cpi=cpi,
+        region=region,
+        is_transition=is_transition,
+    )
+
+
+@pytest.fixture
+def interval_factory():
+    """Expose :func:`make_interval` as a fixture."""
+    return make_interval

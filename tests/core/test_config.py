@@ -1,0 +1,68 @@
+"""Unit tests for ClassifierConfig validation and presets."""
+
+import pytest
+
+from repro.core.config import TRANSITION_PHASE_ID, ClassifierConfig
+from repro.errors import ConfigurationError
+
+
+class TestDefaults:
+    def test_transition_phase_id_is_zero(self):
+        assert TRANSITION_PHASE_ID == 0
+
+    def test_default_matches_paper_section_5_1(self):
+        config = ClassifierConfig()
+        assert config.num_counters == 16
+        assert config.bits_per_counter == 6
+        assert config.table_entries == 32
+        assert config.similarity_threshold == 0.25
+        assert config.min_count_threshold == 8
+
+    def test_paper_default_preset(self):
+        config = ClassifierConfig.paper_default()
+        assert config.perf_dev_threshold == 0.25
+        assert config.adaptive
+
+    def test_paper_baseline_preset(self):
+        config = ClassifierConfig.paper_baseline()
+        assert config.num_counters == 32
+        assert config.similarity_threshold == 0.125
+        assert config.min_count_threshold == 0
+        assert config.match_policy == "first"
+        assert not config.adaptive
+
+    def test_adaptive_flag(self):
+        assert not ClassifierConfig(perf_dev_threshold=None).adaptive
+        assert ClassifierConfig(perf_dev_threshold=0.5).adaptive
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"num_counters": 12},
+        {"num_counters": 0},
+        {"bits_per_counter": 0},
+        {"bits_per_counter": 25},
+        {"table_entries": 0},
+        {"similarity_threshold": 0.0},
+        {"similarity_threshold": 1.5},
+        {"min_count_threshold": -1},
+        {"match_policy": "random"},
+        {"bit_selector": "fancy"},
+        {"static_low_bit": 24},
+        {"static_low_bit": 20, "bits_per_counter": 8},
+        {"perf_dev_threshold": 0.0},
+        {"perf_dev_threshold": 11.0},
+    ])
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ClassifierConfig(**kwargs)
+
+    def test_none_table_entries_is_infinite(self):
+        config = ClassifierConfig(table_entries=None)
+        assert config.table_entries is None
+
+    def test_static_window_within_width_accepted(self):
+        config = ClassifierConfig(
+            bit_selector="static", static_low_bit=14, bits_per_counter=8
+        )
+        assert config.static_low_bit == 14

@@ -1,0 +1,112 @@
+"""Unit tests for Manhattan distance and relative similarity."""
+
+import numpy as np
+import pytest
+
+from repro.core.distance import (
+    manhattan_distance,
+    max_normalizer,
+    relative_distance,
+    relative_distance_matrix,
+    sum_normalizer,
+)
+from repro.core.signature import Signature
+
+
+class TestManhattan:
+    def test_identical_is_zero(self):
+        assert manhattan_distance([1, 2, 3], [1, 2, 3]) == 0
+
+    def test_known_value(self):
+        assert manhattan_distance([0, 5, 2], [3, 1, 2]) == 7
+
+    def test_symmetric(self):
+        a, b = [1, 9, 4], [6, 2, 3]
+        assert manhattan_distance(a, b) == manhattan_distance(b, a)
+
+    def test_triangle_inequality(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            a, b, c = rng.integers(0, 64, size=(3, 16))
+            assert manhattan_distance(a, c) <= (
+                manhattan_distance(a, b) + manhattan_distance(b, c)
+            )
+
+    def test_accepts_signatures(self):
+        a = Signature([1, 2], bits=6)
+        b = Signature([3, 0], bits=6)
+        assert manhattan_distance(a, b) == 4
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            manhattan_distance([1, 2], [1, 2, 3])
+
+
+class TestRelativeDistance:
+    def test_identical_zero(self):
+        assert relative_distance([5, 5], [5, 5]) == 0.0
+
+    def test_disjoint_support_is_one(self):
+        assert relative_distance([10, 0], [0, 10]) == pytest.approx(1.0)
+
+    def test_both_zero_vectors(self):
+        assert relative_distance([0, 0], [0, 0]) == 0.0
+
+    def test_range_bounded(self):
+        rng = np.random.default_rng(1)
+        for _ in range(100):
+            a, b = rng.integers(0, 64, size=(2, 8))
+            d = relative_distance(a, b)
+            assert 0.0 <= d <= 1.0
+
+    def test_max_normalizer_looser_or_equal(self):
+        # 2*max(ta, tb) >= ta + tb, so the max normalizer never reports
+        # a larger relative distance than the sum normalizer.
+        a, b = [10, 2, 0], [3, 3, 3]
+        assert relative_distance(a, b, max_normalizer) <= relative_distance(
+            a, b, sum_normalizer
+        )
+        same = [4, 4, 4]
+        assert relative_distance(a, same, max_normalizer) <= 1.0
+
+    def test_threshold_semantics_example(self):
+        # A signature 12.5% different: distance 4 against totals 16+16.
+        a = np.array([8, 8, 0, 0])
+        b = np.array([8, 6, 2, 0])
+        assert relative_distance(a, b) == pytest.approx(4 / 32)
+
+
+class TestMatrixForm:
+    def test_matches_scalar_form(self):
+        rng = np.random.default_rng(2)
+        matrix = rng.integers(0, 64, size=(10, 16))
+        vector = rng.integers(0, 64, size=16)
+        batch = relative_distance_matrix(matrix, vector)
+        scalar = [relative_distance(row, vector) for row in matrix]
+        assert np.allclose(batch, scalar)
+
+    def test_matches_scalar_form_max_normalizer(self):
+        rng = np.random.default_rng(3)
+        matrix = rng.integers(0, 64, size=(5, 8))
+        vector = rng.integers(0, 64, size=8)
+        batch = relative_distance_matrix(matrix, vector, max_normalizer)
+        scalar = [
+            relative_distance(row, vector, max_normalizer)
+            for row in matrix
+        ]
+        assert np.allclose(batch, scalar)
+
+    def test_custom_normalizer_python_path(self):
+        def fixed(total_a, total_b):
+            return 100.0
+
+        matrix = np.array([[1, 0], [0, 1]])
+        vector = np.array([1, 0])
+        out = relative_distance_matrix(matrix, vector, fixed)
+        assert np.allclose(out, [0.0, 0.02])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            relative_distance_matrix(
+                np.zeros((3, 4)), np.zeros(5)
+            )

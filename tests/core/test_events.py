@@ -1,0 +1,67 @@
+"""Unit tests for classification result records."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import ClassificationResult, ClassificationRun
+from repro.errors import TraceError
+
+
+def result(phase_id, matched=True):
+    return ClassificationResult(
+        phase_id=phase_id, matched=matched, distance=0.1
+    )
+
+
+def run_for(ids):
+    return ClassificationRun(
+        results=[result(i) for i in ids],
+        num_phases=len({i for i in ids if i != 0}),
+        evictions=0,
+    )
+
+
+class TestClassificationResult:
+    def test_is_transition(self):
+        assert result(0).is_transition
+        assert not result(3).is_transition
+
+
+class TestClassificationRun:
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            ClassificationRun(results=[], num_phases=0, evictions=0)
+
+    def test_phase_ids_order(self):
+        run = run_for([1, 1, 0, 2])
+        assert run.phase_ids.tolist() == [1, 1, 0, 2]
+
+    def test_transition_fraction(self):
+        run = run_for([0, 1, 0, 1])
+        assert run.transition_fraction == 0.5
+
+    def test_distinct_phases_excludes_transition(self):
+        run = run_for([0, 1, 2, 2, 0])
+        assert run.distinct_phases_observed == 2
+
+    def test_phase_interval_indices(self):
+        run = run_for([1, 2, 1])
+        groups = run.phase_interval_indices()
+        assert groups[1].tolist() == [0, 2]
+        assert groups[2].tolist() == [1]
+
+    def test_phase_change_mask(self):
+        run = run_for([1, 1, 2, 2, 1])
+        assert run.phase_change_mask().tolist() == [
+            False, False, True, False, True,
+        ]
+
+    def test_phase_change_fraction(self):
+        run = run_for([1, 2, 2, 3])
+        assert run.phase_change_fraction == pytest.approx(2 / 3)
+
+    def test_single_interval_change_fraction_zero(self):
+        assert run_for([1]).phase_change_fraction == 0.0
+
+    def test_len(self):
+        assert len(run_for([1, 2, 3])) == 3

@@ -1,0 +1,191 @@
+"""Tests for the streaming PhaseTracker."""
+
+import numpy as np
+import pytest
+
+from repro.core import ClassifierConfig, PhaseClassifier, PhaseTracker
+from repro.errors import PredictionError
+
+
+def drive_interval(tracker, pcs, weights, cpi, interval=100_000):
+    """Feed branches until the tracker reports a boundary, then close."""
+    weights = np.asarray(weights, dtype=np.float64)
+    weights = weights / weights.sum()
+    rng = np.random.default_rng(len(pcs))
+    while True:
+        index = int(rng.choice(len(pcs), p=weights))
+        boundary = tracker.observe_branch(int(pcs[index]), 500)
+        if boundary:
+            return tracker.complete_interval(cpi)
+
+
+PCS_A = np.arange(0x1000, 0x1000 + 12 * 4, 4)
+PCS_B = np.arange(0x9000, 0x9000 + 12 * 4, 4)
+WEIGHTS = np.linspace(1.0, 3.0, 12)
+
+
+def make_tracker(min_count=0, interval=100_000):
+    config = ClassifierConfig(
+        num_counters=16, table_entries=32,
+        similarity_threshold=0.25, min_count_threshold=min_count,
+    )
+    return PhaseTracker(config, interval_instructions=interval)
+
+
+class TestBoundaries:
+    def test_boundary_detected_at_interval_length(self):
+        tracker = make_tracker(interval=1000)
+        assert tracker.observe_branch(0x1000, 400) is False
+        assert tracker.observe_branch(0x1004, 400) is False
+        assert tracker.observe_branch(0x1008, 400) is True
+
+    def test_observe_after_boundary_rejected(self):
+        tracker = make_tracker(interval=100)
+        tracker.observe_branch(0x1000, 200)
+        with pytest.raises(PredictionError):
+            tracker.observe_branch(0x1004, 10)
+
+    def test_complete_without_content_rejected(self):
+        with pytest.raises(PredictionError):
+            make_tracker().complete_interval(1.0)
+
+    def test_interval_counter_advances(self):
+        tracker = make_tracker(interval=100)
+        for _ in range(3):
+            tracker.observe_branch(0x1000, 100)
+            tracker.complete_interval(1.0)
+        assert tracker.intervals_observed == 3
+
+    def test_instructions_reset_after_completion(self):
+        tracker = make_tracker(interval=100)
+        tracker.observe_branch(0x1000, 150)
+        tracker.complete_interval(1.0)
+        assert tracker.instructions_into_interval == 0
+
+    def test_invalid_interval_length(self):
+        with pytest.raises(PredictionError):
+            PhaseTracker(interval_instructions=0)
+
+
+class TestClassificationThroughTracker:
+    def test_same_code_same_phase(self):
+        tracker = make_tracker()
+        first = drive_interval(tracker, PCS_A, WEIGHTS, cpi=1.0)
+        second = drive_interval(tracker, PCS_A, WEIGHTS, cpi=1.0)
+        assert second.phase_id == first.phase_id
+        assert not second.phase_changed
+
+    def test_different_code_changes_phase(self):
+        tracker = make_tracker()
+        drive_interval(tracker, PCS_A, WEIGHTS, cpi=1.0)
+        report = drive_interval(tracker, PCS_B, WEIGHTS, cpi=2.0)
+        assert report.phase_changed
+
+    def test_matches_trace_driven_classifier(self):
+        """The tracker must classify identically to classify_trace when
+        fed the same records."""
+        from repro.workloads import benchmark
+
+        trace = benchmark("gzip/p", scale=0.08)
+        config = ClassifierConfig.paper_default()
+        expected = PhaseClassifier(config).classify_trace(trace)
+
+        tracker = PhaseTracker(
+            config, interval_instructions=trace.interval_instructions
+        )
+        got = []
+        for interval in trace:
+            for pc, count in zip(interval.branch_pcs,
+                                 interval.instr_counts):
+                tracker.observe_branch(int(pc), int(count))
+            # Force the boundary even if rounding left us short.
+            report = tracker.complete_interval(interval.cpi)
+            got.append(report.phase_id)
+        assert got == expected.phase_ids.tolist()
+
+    def test_min_count_produces_transitions(self):
+        tracker = make_tracker(min_count=3)
+        reports = [
+            drive_interval(tracker, PCS_A, WEIGHTS, cpi=1.0)
+            for _ in range(5)
+        ]
+        assert [r.is_transition for r in reports[:3]] == [True] * 3
+        assert not reports[4].is_transition
+
+
+class TestListenersAndPredictions:
+    def test_listener_fires_on_change_only(self):
+        tracker = make_tracker()
+        events = []
+        tracker.add_phase_change_listener(events.append)
+        drive_interval(tracker, PCS_A, WEIGHTS, cpi=1.0)
+        drive_interval(tracker, PCS_A, WEIGHTS, cpi=1.0)
+        assert events == []
+        drive_interval(tracker, PCS_B, WEIGHTS, cpi=2.0)
+        assert len(events) == 1
+        assert events[0].phase_changed
+
+    def test_prediction_present_after_first_interval(self):
+        tracker = make_tracker()
+        report = drive_interval(tracker, PCS_A, WEIGHTS, cpi=1.0)
+        assert report.predicted_next_phase == report.phase_id
+
+    def test_current_phase_tracks_latest(self):
+        tracker = make_tracker()
+        report = drive_interval(tracker, PCS_A, WEIGHTS, cpi=1.0)
+        assert tracker.current_phase == report.phase_id
+
+    def test_pure_last_value_tracker(self):
+        tracker = PhaseTracker(
+            ClassifierConfig.paper_default(),
+            interval_instructions=100_000,
+            change_predictor=None,
+        )
+        report = drive_interval(tracker, PCS_A, WEIGHTS, cpi=1.0)
+        assert report.predicted_next_phase == report.phase_id
+
+
+class TestTrackerLongRun:
+    def test_length_class_prediction_surfaces_in_reports(self):
+        """After the RLE-2 length table warms up on a periodic stream,
+        reports carry a predicted length class for the entered phase."""
+        tracker = make_tracker(interval=100)
+
+        def run_phase(pcs, intervals):
+            reports = []
+            for _ in range(intervals):
+                tracker.observe_branch(int(pcs[0]), 60)
+                tracker.observe_branch(int(pcs[1]), 60)
+                reports.append(tracker.complete_interval(1.0))
+            return reports
+
+        # Strict period: A x3, B x2, repeated.
+        predicted = []
+        for _ in range(8):
+            run_phase(PCS_A, 3)
+            reports = run_phase(PCS_B, 2)
+            predicted.extend(
+                r.predicted_length_class for r in reports
+            )
+        # Late in the run the predictor has seen the pattern.
+        assert any(p is not None for p in predicted[-6:])
+
+    def test_custom_change_predictor_accepted(self):
+        from repro.prediction import MarkovChangePredictor
+
+        tracker = PhaseTracker(
+            ClassifierConfig.paper_default(),
+            interval_instructions=100,
+            change_predictor=MarkovChangePredictor(1),
+        )
+        tracker.observe_branch(0x1000, 100)
+        report = tracker.complete_interval(1.0)
+        assert report.interval_index == 0
+
+    def test_reports_index_monotone(self):
+        tracker = make_tracker(interval=100)
+        indices = []
+        for _ in range(5):
+            tracker.observe_branch(0x1000, 100)
+            indices.append(tracker.complete_interval(1.0).interval_index)
+        assert indices == list(range(5))

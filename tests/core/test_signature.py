@@ -1,0 +1,55 @@
+"""Unit tests for the Signature value object."""
+
+import numpy as np
+import pytest
+
+from repro.core.signature import Signature
+from repro.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_from_list(self):
+        sig = Signature([1, 2, 3], bits=6)
+        assert sig.dimensions == 3
+        assert sig.total == 6
+
+    def test_from_array(self):
+        sig = Signature(np.array([5, 0, 63]), bits=6)
+        assert sig.total == 68
+
+    def test_values_read_only(self):
+        sig = Signature([1, 2], bits=4)
+        with pytest.raises(ValueError):
+            sig.values[0] = 9
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Signature([], bits=6)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Signature([64], bits=6)
+        with pytest.raises(ConfigurationError):
+            Signature([-1], bits=6)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ConfigurationError):
+            Signature([0], bits=0)
+
+
+class TestValueSemantics:
+    def test_equality(self):
+        assert Signature([1, 2], bits=6) == Signature([1, 2], bits=6)
+        assert Signature([1, 2], bits=6) != Signature([2, 1], bits=6)
+
+    def test_different_bits_not_equal(self):
+        assert Signature([1, 2], bits=6) != Signature([1, 2], bits=8)
+
+    def test_hashable(self):
+        a = Signature([1, 2, 3], bits=6)
+        b = Signature([1, 2, 3], bits=6)
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_not_equal_to_other_types(self):
+        assert Signature([1], bits=6) != [1]

@@ -1,0 +1,140 @@
+"""Unit tests for the past-signature table."""
+
+import pytest
+
+from repro.core.signature import Signature
+from repro.core.signature_table import SignatureTable, TableEntry
+from repro.errors import ConfigurationError
+
+
+def sig(*values, bits=6):
+    return Signature(list(values), bits=bits)
+
+
+class TestTableEntry:
+    def test_cpi_running_average(self):
+        entry = TableEntry(signature=sig(1), similarity_threshold=0.25)
+        entry.record_cpi(1.0)
+        entry.record_cpi(3.0)
+        assert entry.cpi_mean == pytest.approx(2.0)
+        assert entry.cpi_count == 2
+
+    def test_cpi_deviation(self):
+        entry = TableEntry(signature=sig(1), similarity_threshold=0.25)
+        entry.record_cpi(2.0)
+        assert entry.cpi_deviation(3.0) == pytest.approx(0.5)
+        assert entry.cpi_deviation(2.0) == 0.0
+
+    def test_deviation_without_history_is_zero(self):
+        entry = TableEntry(signature=sig(1), similarity_threshold=0.25)
+        assert entry.cpi_deviation(100.0) == 0.0
+
+    def test_clear_cpi_stats(self):
+        entry = TableEntry(signature=sig(1), similarity_threshold=0.25)
+        entry.record_cpi(5.0)
+        entry.clear_cpi_stats()
+        assert entry.cpi_count == 0
+        assert entry.cpi_mean == 0.0
+
+
+class TestSearch:
+    def test_empty_table_no_match(self):
+        table = SignatureTable(capacity=4, default_threshold=0.25)
+        assert table.best_match(sig(1, 2, 3)) is None
+
+    def test_exact_match_found(self):
+        table = SignatureTable(capacity=4, default_threshold=0.25)
+        table.insert(sig(10, 10, 10))
+        match = table.best_match(sig(10, 10, 10))
+        assert match is not None
+        assert match[1] == 0.0
+
+    def test_match_within_threshold(self):
+        table = SignatureTable(capacity=4, default_threshold=0.25)
+        table.insert(sig(10, 10, 0))
+        # distance 4, totals 20+20 -> 10% difference: within 25%.
+        assert table.best_match(sig(10, 6, 0)) is not None
+
+    def test_no_match_beyond_threshold(self):
+        table = SignatureTable(capacity=4, default_threshold=0.125)
+        table.insert(sig(10, 10, 0))
+        # distance 20, totals 20+20 -> 50% difference.
+        assert table.best_match(sig(0, 10, 10)) is None
+
+    def test_most_similar_policy_picks_closest(self):
+        table = SignatureTable(capacity=4, default_threshold=0.5)
+        far = table.insert(sig(10, 4, 0))
+        near = table.insert(sig(10, 9, 0))
+        match = table.best_match(sig(10, 10, 0), policy="most_similar")
+        assert match is not None and match[0] is near
+
+    def test_first_policy_picks_table_order(self):
+        table = SignatureTable(capacity=4, default_threshold=0.5)
+        first = table.insert(sig(10, 4, 0))
+        table.insert(sig(10, 9, 0))
+        match = table.best_match(sig(10, 10, 0), policy="first")
+        assert match is not None and match[0] is first
+
+    def test_unknown_policy_rejected(self):
+        table = SignatureTable(capacity=4, default_threshold=0.5)
+        table.insert(sig(1))
+        with pytest.raises(ConfigurationError):
+            table.best_match(sig(1), policy="best")
+
+    def test_per_entry_threshold_respected(self):
+        table = SignatureTable(capacity=4, default_threshold=0.25)
+        entry = table.insert(sig(10, 10, 0))
+        entry.similarity_threshold = 0.05
+        # 10% difference: within the default but not the tightened one.
+        assert table.best_match(sig(10, 6, 0)) is None
+
+
+class TestMutation:
+    def test_touch_replaces_signature(self):
+        table = SignatureTable(capacity=4, default_threshold=0.25)
+        entry = table.insert(sig(10, 10, 0))
+        table.touch(entry, sig(10, 9, 0))
+        assert entry.signature == sig(10, 9, 0)
+        # Future searches compare against the replaced signature.
+        match = table.best_match(sig(10, 9, 0))
+        assert match is not None and match[1] == 0.0
+
+    def test_lru_eviction_at_capacity(self):
+        table = SignatureTable(capacity=2, default_threshold=0.25)
+        a = table.insert(sig(63, 0, 0))
+        b = table.insert(sig(0, 63, 0))
+        table.touch(a, a.signature)       # refresh a; b becomes LRU
+        table.insert(sig(0, 0, 63))       # evicts b
+        assert len(table) == 2
+        assert table.evictions == 1
+        assert b not in table.entries
+        assert a in table.entries
+
+    def test_infinite_capacity(self):
+        table = SignatureTable(capacity=None, default_threshold=0.25)
+        for i in range(100):
+            table.insert(sig(i % 64, (i * 7) % 64))
+        assert len(table) == 100
+        assert table.evictions == 0
+
+    def test_flush_cpi_stats(self):
+        table = SignatureTable(capacity=4, default_threshold=0.25)
+        entry = table.insert(sig(1))
+        entry.record_cpi(2.0)
+        table.flush_cpi_stats()
+        assert entry.cpi_count == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            SignatureTable(capacity=0, default_threshold=0.25)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ConfigurationError):
+            SignatureTable(capacity=4, default_threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            SignatureTable(capacity=4, default_threshold=1.5)
+
+    def test_insert_uses_default_threshold(self):
+        table = SignatureTable(capacity=4, default_threshold=0.125)
+        entry = table.insert(sig(1))
+        assert entry.similarity_threshold == 0.125

@@ -1,0 +1,153 @@
+"""Structural integrity of every experiment's output.
+
+Runs each experiment at a tiny scale and validates the shape and value
+ranges of its ``data`` dictionary — the contract that benchmarks,
+shape tests and the ``--json`` output all rely on. (The *paper-shape*
+assertions live in ``tests/integration/test_paper_shapes.py`` at a
+larger scale; these tests are about structure, not science.)
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.harness.experiment import run_experiment
+from repro.workloads import BENCHMARK_NAMES
+
+SCALE = 0.05
+N = len(BENCHMARK_NAMES)
+
+
+@pytest.fixture(scope="module")
+def results():
+    names = ("table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+             "fig8", "fig9", "simpoint", "baselines", "hwbudget")
+    return {name: run_experiment(name, scale=SCALE) for name in names}
+
+
+def _assert_benchmark_series(series, low=0.0, high=None):
+    assert len(series) == N
+    for value in series:
+        assert math.isfinite(value)
+        assert value >= low
+        if high is not None:
+            assert value <= high
+
+
+class TestRendering:
+    def test_every_experiment_renders_tables(self, results):
+        for name, result in results.items():
+            assert result.tables, name
+            assert result.rendered.startswith(f"=== {name}:"), name
+
+    def test_benchmark_rows_present(self, results):
+        for name in ("fig2", "fig4", "fig6"):
+            rendered = results[name].rendered
+            for benchmark_name in BENCHMARK_NAMES:
+                assert benchmark_name in rendered, (name, benchmark_name)
+
+
+class TestDataContracts:
+    def test_table1(self, results):
+        data = results["table1"].data
+        _assert_benchmark_series(data["cpi_min"], low=0.01)
+        _assert_benchmark_series(data["cpi_max"], low=0.01)
+
+    def test_fig2(self, results):
+        data = results["fig2"].data
+        assert set(data["cov"]) == {
+            "16 entry", "32 entry", "64 entry", "inf entry",
+        }
+        for series in data["cov"].values():
+            _assert_benchmark_series(series, high=200.0)
+        for series in data["phases"].values():
+            _assert_benchmark_series(series, low=1)
+
+    def test_fig3_includes_whole_program(self, results):
+        data = results["fig3"].data
+        assert "Whole Program" in data["cov"]
+        assert set(data["phases"]) == {
+            "8 dim", "16 dim", "32 dim", "64 dim",
+        }
+
+    def test_fig4_four_series(self, results):
+        data = results["fig4"].data
+        assert set(data) == {
+            "cov", "phases", "transition_time", "lv_mispredict",
+        }
+        for group in data.values():
+            assert len(group) == 5  # five configurations
+            for series in group.values():
+                _assert_benchmark_series(series)
+
+    def test_fig5_parallel_series(self, results):
+        data = results["fig5"].data
+        for key in ("stable_mean", "stable_std", "transition_mean",
+                    "transition_std"):
+            _assert_benchmark_series(data[key])
+
+    def test_fig6_five_configs(self, results):
+        data = results["fig6"].data
+        for group in ("cov", "phases", "transition_time"):
+            assert len(data[group]) == 5
+
+    def test_fig7_categories_sum_to_100(self, results):
+        data = results["fig7"].data
+        num_predictors = len(data["labels"])
+        for index in range(num_predictors):
+            total = sum(
+                data["categories"][category][index]
+                for category in data["categories"]
+            )
+            assert total == pytest.approx(100.0, abs=0.1)
+        assert len(data["per_benchmark_accuracy"]["Last Value"]) == N
+
+    def test_fig8_categories_sum_to_100(self, results):
+        data = results["fig8"].data
+        for index in range(len(data["labels"])):
+            total = sum(
+                data["categories"][category][index]
+                for category in data["categories"]
+            )
+            assert total == pytest.approx(100.0, abs=0.1)
+
+    def test_fig8_accuracy_consistent_with_categories(self, results):
+        data = results["fig8"].data
+        for index in range(len(data["labels"])):
+            derived = (
+                data["categories"]["conf_correct"][index]
+                + data["categories"]["unconf_correct"][index]
+            )
+            assert data["accuracy"][index] == pytest.approx(
+                derived, abs=0.1
+            )
+
+    def test_fig9_distribution_complete(self, results):
+        data = results["fig9"].data
+        totals = np.zeros(N)
+        for series in data["class_distribution"].values():
+            _assert_benchmark_series(series, high=100.0)
+            totals += np.array(series)
+        assert np.allclose(totals, 100.0, atol=0.5)
+        _assert_benchmark_series(data["misprediction"], high=100.0)
+
+    def test_simpoint_series(self, results):
+        data = results["simpoint"].data
+        _assert_benchmark_series(data["online_cov"])
+        _assert_benchmark_series(data["offline_cov"])
+        _assert_benchmark_series(data["offline_phases"], low=1)
+        _assert_benchmark_series(data["estimate_error"])
+
+    def test_baselines_series(self, results):
+        data = results["baselines"].data
+        _assert_benchmark_series(data["working_set_phases"], low=1)
+        assert set(data["mape"]) == {
+            "last value", "EWMA", "history table", "phase-based",
+        }
+
+    def test_hwbudget_consistent(self, results):
+        data = results["hwbudget"].data
+        assert len(data["labels"]) == len(data["bits"])
+        for bits, bytes_ in zip(data["bits"], data["bytes"]):
+            assert bytes_ == pytest.approx(bits / 8.0)

@@ -1,0 +1,92 @@
+"""Tests for the generic classifier parameter sweep."""
+
+import pytest
+
+from repro.core import ClassifierConfig
+from repro.errors import ConfigurationError
+from repro.harness.sweep import METRICS, SweepResult, sweep_classifier
+
+SCALE = 0.05
+BENCHES = ("gzip/p", "mcf")
+
+
+@pytest.fixture(scope="module")
+def threshold_sweep():
+    return sweep_classifier(
+        "similarity_threshold", [0.125, 0.25],
+        benchmarks=BENCHES, scale=SCALE,
+    )
+
+
+class TestSweepClassifier:
+    def test_collects_all_metrics(self, threshold_sweep):
+        assert set(threshold_sweep.data) == set(METRICS)
+        for metric_data in threshold_sweep.data.values():
+            assert set(metric_data) == {0.125, 0.25}
+            for series in metric_data.values():
+                assert len(series) == len(BENCHES)
+
+    def test_averages(self, threshold_sweep):
+        averages = threshold_sweep.averages("cov")
+        assert set(averages) == {0.125, 0.25}
+        assert all(v >= 0 for v in averages.values())
+
+    def test_best_value(self, threshold_sweep):
+        best = threshold_sweep.best_value("cov", minimize=True)
+        averages = threshold_sweep.averages("cov")
+        assert averages[best] == min(averages.values())
+
+    def test_render(self, threshold_sweep):
+        table = threshold_sweep.render("phases")
+        assert "similarity_threshold=0.125" in table
+        assert "gzip/p" in table
+
+    def test_min_count_sweep_shrinks_phases(self):
+        result = sweep_classifier(
+            "min_count_threshold", [0, 8],
+            benchmarks=BENCHES, scale=SCALE,
+        )
+        averages = result.averages("phases")
+        assert averages[8] <= averages[0]
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep_classifier("banana_threshold", [1], scale=SCALE)
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep_classifier(
+                "min_count_threshold", [0], metrics=("banana",),
+                scale=SCALE,
+            )
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep_classifier("min_count_threshold", [], scale=SCALE)
+
+    def test_invalid_value_raises_config_error(self):
+        with pytest.raises(ConfigurationError):
+            sweep_classifier(
+                "num_counters", [12], benchmarks=BENCHES, scale=SCALE
+            )
+
+    def test_custom_base_respected(self):
+        base = ClassifierConfig(
+            num_counters=16, table_entries=32,
+            similarity_threshold=0.25, min_count_threshold=0,
+        )
+        result = sweep_classifier(
+            "similarity_threshold", [0.25], base=base,
+            benchmarks=BENCHES, scale=SCALE,
+            metrics=("transition",),
+        )
+        # min_count 0 in the base: no transition phase at all.
+        assert all(
+            v == 0.0 for v in result.data["transition"][0.25]
+        )
+
+    def test_result_metric_validation(self, threshold_sweep):
+        with pytest.raises(ConfigurationError):
+            threshold_sweep.averages("nope")
+        with pytest.raises(ConfigurationError):
+            threshold_sweep.render("nope")

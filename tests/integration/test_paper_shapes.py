@@ -1,0 +1,293 @@
+"""Shape assertions against the paper's headline claims.
+
+Each figure experiment is run once at a reduced scale (module-scoped
+fixtures); the assertions check the *shape* of the results — who wins,
+in which direction the trends go — per DESIGN.md §4. Absolute values
+are not asserted (the substrate is synthetic).
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness.experiment import run_experiment
+
+SCALE = 0.3
+
+
+@pytest.fixture(scope="module")
+def fig2():
+    return run_experiment("fig2", scale=SCALE).data
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return run_experiment("fig3", scale=SCALE).data
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return run_experiment("fig4", scale=SCALE).data
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return run_experiment("fig5", scale=SCALE).data
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return run_experiment("fig6", scale=SCALE).data
+
+
+@pytest.fixture(scope="module")
+def fig7():
+    return run_experiment("fig7", scale=SCALE).data
+
+
+@pytest.fixture(scope="module")
+def fig8():
+    return run_experiment("fig8", scale=SCALE).data
+
+
+@pytest.fixture(scope="module")
+def fig9():
+    return run_experiment("fig9", scale=SCALE).data
+
+
+BENCH_INDEX = {
+    name: i for i, name in enumerate(
+        ("ammp", "bzip2/g", "bzip2/p", "galgel", "gcc/1", "gcc/s",
+         "gzip/g", "gzip/p", "mcf", "perl/d", "perl/s")
+    )
+}
+
+
+class TestFig2TableSize:
+    def test_finite_tables_inflate_phase_counts(self, fig2):
+        """Signatures lost to replacement re-allocate phase IDs."""
+        small = np.mean(fig2["phases"]["16 entry"])
+        infinite = np.mean(fig2["phases"]["inf entry"])
+        assert small >= infinite
+
+    def test_gcc_sensitive_to_table_size(self, fig2):
+        index = BENCH_INDEX["gcc/s"]
+        assert (
+            fig2["phases"]["16 entry"][index]
+            > fig2["phases"]["inf entry"][index]
+        )
+
+    def test_cov_does_not_collapse_with_size(self, fig2):
+        """CoV varies only slightly across table sizes (paper: rises
+        'slightly' with more entries)."""
+        means = [np.mean(fig2["cov"][c]) for c in fig2["cov"]]
+        assert max(means) - min(means) < 5.0  # percentage points
+
+
+class TestFig3Counters:
+    def test_8_counters_insufficient(self, fig3):
+        assert np.mean(fig3["cov"]["8 dim"]) > np.mean(
+            fig3["cov"]["16 dim"]
+        )
+
+    def test_16_vs_32_close(self, fig3):
+        assert abs(
+            np.mean(fig3["cov"]["16 dim"]) - np.mean(fig3["cov"]["32 dim"])
+        ) < 2.0
+
+    def test_whole_program_cov_many_times_per_phase(self, fig3):
+        whole = np.mean(fig3["cov"]["Whole Program"])
+        classified = np.mean(fig3["cov"]["16 dim"])
+        assert whole > 4 * classified
+
+    def test_8_counters_merge_phases(self, fig3):
+        assert np.mean(fig3["phases"]["8 dim"]) < np.mean(
+            fig3["phases"]["16 dim"]
+        )
+
+
+class TestFig4TransitionPhase:
+    def test_min_count_slashes_phase_counts(self, fig4):
+        """Paper: hundreds of phases -> tens with the transition phase."""
+        baseline = np.mean(fig4["phases"]["12.5% similar+0 min"])
+        with_min8 = np.mean(fig4["phases"]["12.5% similar+8 min"])
+        assert with_min8 < baseline / 3
+
+    def test_transition_time_grows_with_min_count(self, fig4):
+        t4 = np.mean(fig4["transition_time"]["25% similar+4 min"])
+        t8 = np.mean(fig4["transition_time"]["25% similar+8 min"])
+        assert t8 >= t4
+
+    def test_gcc_s_has_most_transition_time(self, fig4):
+        series = fig4["transition_time"]["25% similar+8 min"]
+        assert np.argmax(series) == BENCH_INDEX["gcc/s"]
+
+    def test_transition_phase_cuts_lv_mispredictions(self, fig4):
+        """Paper: placing rare phase IDs into the transition phase
+        reduces last-value mispredictions vs the baseline."""
+        baseline = np.mean(fig4["lv_mispredict"]["12.5% similar+0 min"])
+        with_min8 = np.mean(fig4["lv_mispredict"]["12.5% similar+8 min"])
+        assert with_min8 < baseline
+
+    def test_cov_not_destroyed_by_transition_phase(self, fig4):
+        baseline = np.mean(fig4["cov"]["12.5% similar+0 min"])
+        with_min8 = np.mean(fig4["cov"]["12.5% similar+8 min"])
+        assert with_min8 < baseline + 3.0  # percentage points
+
+
+class TestFig5Lengths:
+    def test_stable_longer_than_transitions_on_average(self, fig5):
+        stable = np.array(fig5["stable_mean"])
+        trans = np.array(fig5["transition_mean"])
+        assert (stable > trans).mean() > 0.8
+
+    def test_gzip_g_exceptionally_long(self, fig5):
+        index = BENCH_INDEX["gzip/g"]
+        assert fig5["stable_mean"][index] > 3 * np.median(
+            fig5["stable_mean"]
+        )
+
+
+class TestFig6Adaptive:
+    def test_dynamic_lowers_cov_vs_static(self, fig6):
+        static = np.mean(fig6["cov"]["25% static"])
+        dynamic = np.mean(fig6["cov"]["25% dyn+25% dev"])
+        assert dynamic < static
+
+    def test_mcf_benefits_most(self, fig6):
+        index = BENCH_INDEX["mcf"]
+        static = fig6["cov"]["25% static"][index]
+        dynamic = fig6["cov"]["25% dyn+25% dev"][index]
+        assert dynamic < static * 0.85
+
+    def test_gzip_g_unaffected(self, fig6):
+        """Programs without CPI sub-modes should barely change."""
+        index = BENCH_INDEX["gzip/g"]
+        static = fig6["cov"]["25% static"][index]
+        dynamic = fig6["cov"]["25% dyn+50% dev"][index]
+        assert dynamic == pytest.approx(static, rel=0.15)
+
+    def test_phase_increase_modest(self, fig6):
+        static = np.mean(fig6["phases"]["25% static"])
+        dynamic = np.mean(fig6["phases"]["25% dyn+25% dev"])
+        assert dynamic < static * 3
+
+    def test_tighter_deviation_tightens_more(self, fig6):
+        loose = np.mean(fig6["cov"]["25% dyn+50% dev"])
+        tight = np.mean(fig6["cov"]["25% dyn+12.5% dev"])
+        assert tight <= loose + 0.5
+
+
+class TestFig7NextPhase:
+    def _series(self, fig7, label):
+        return fig7["accuracy"][fig7["labels"].index(label)]
+
+    def test_last_value_strong_baseline(self, fig7):
+        accuracy = self._series(fig7, "Last Value")
+        assert 70.0 < accuracy < 99.5
+
+    def test_confidence_raises_accuracy_cuts_coverage(self, fig7):
+        index = fig7["labels"].index("Last Value")
+        assert fig7["confident_accuracy"][index] >= fig7["accuracy"][index]
+        assert fig7["coverage"][index] < 100.0
+
+    def test_rle_at_least_matches_markov(self, fig7):
+        assert self._series(fig7, "RLE-2") >= (
+            self._series(fig7, "Markov 2") - 1.0
+        )
+
+    def test_no_table_conf_increases_coverage(self, fig7):
+        with_conf = fig7["labels"].index("Markov 2")
+        without = fig7["labels"].index("Markov 2 No Table Conf")
+        assert fig7["coverage"][without] >= fig7["coverage"][with_conf]
+
+    def test_complicated_predictors_marginal(self, fig7):
+        """Paper's conclusion: table predictors give only marginal gains
+        over last value for next-interval prediction."""
+        lv = self._series(fig7, "Last Value")
+        best = max(fig7["accuracy"])
+        assert best - lv < 15.0
+
+
+class TestFig8ChangePrediction:
+    def _accuracy(self, fig8, label):
+        return fig8["accuracy"][fig8["labels"].index(label)]
+
+    def test_perfect_markov1_is_upper_bound_for_markov(self, fig8):
+        perfect = self._accuracy(fig8, "Perfect Markov 1")
+        for label in ("Markov 2", "Last4 Markov 1", "Top 4 Markov 1"):
+            assert perfect >= self._accuracy(fig8, label) - 2.0
+
+    def test_cold_start_keeps_perfect_below_100(self, fig8):
+        assert self._accuracy(fig8, "Perfect Markov 1") < 95.0
+
+    def test_aggressive_variants_beat_plain_markov2(self, fig8):
+        plain = self._accuracy(fig8, "Markov 2")
+        assert self._accuracy(fig8, "Last4 Markov 1") > plain
+        assert self._accuracy(fig8, "Top 4 Markov 1") > plain
+
+    def test_plain_markov2_in_paper_range(self, fig8):
+        """Paper: Markov-2 achieves ~40% of changes."""
+        assert 20.0 < self._accuracy(fig8, "Markov 2") < 65.0
+
+    def test_confident_mispredictions_modest(self, fig8):
+        index = fig8["labels"].index("Top 4 Markov 1")
+        conf_incorrect = fig8["categories"]["conf_incorrect"][index]
+        assert conf_incorrect < 25.0
+
+    def test_bigger_table_helps_or_ties(self, fig8):
+        assert self._accuracy(fig8, "128 Entry Markov 2") >= (
+            self._accuracy(fig8, "Markov 2") - 2.0
+        )
+
+
+class TestFig9Lengths:
+    def test_shortest_class_dominates(self, fig9):
+        shortest = np.array(fig9["class_distribution"]["1-15"])
+        assert shortest.mean() > 50.0
+
+    def test_gzip_g_has_long_runs(self, fig9):
+        index = BENCH_INDEX["gzip/g"]
+        long_share = (
+            fig9["class_distribution"]["16-127"][index]
+            + fig9["class_distribution"]["128-1023"][index]
+            + fig9["class_distribution"]["1024-"][index]
+        )
+        assert long_share > 20.0
+
+    def test_misprediction_rates_low_for_complex_programs(self, fig9):
+        """gcc has hundreds of changes: the predictor must do well
+        there (the small-N stable programs are noisy)."""
+        for name in ("gcc/1", "gcc/s", "mcf"):
+            assert fig9["misprediction"][BENCH_INDEX[name]] < 20.0
+
+    def test_distribution_sums_to_100(self, fig9):
+        totals = np.zeros(11)
+        for series in fig9["class_distribution"].values():
+            totals += np.array(series)
+        assert np.allclose(totals, 100.0, atol=0.5)
+
+
+class TestPerBenchmarkShapes:
+    """Per-benchmark orderings the paper's text calls out."""
+
+    def test_stable_programs_predict_best(self, fig7):
+        """ammp/gzip-g/perl-d (long stable phases) must have higher
+        last-value accuracy than the gcc models."""
+        series = fig7["per_benchmark_accuracy"]["Last Value"]
+        stable = min(series[BENCH_INDEX[n]]
+                     for n in ("ammp", "gzip/g", "perl/d"))
+        irregular = max(series[BENCH_INDEX[n]]
+                        for n in ("gcc/1", "gcc/s"))
+        assert stable > irregular
+
+    def test_gcc_hardest_for_change_prediction_oracle(self, fig8):
+        """Cold-start is worst where behaviour is most irregular: the
+        perfect predictor does better on mcf than on gcc/s."""
+        series = fig8["per_benchmark_accuracy"]["Perfect Markov 1"]
+        assert series[BENCH_INDEX["mcf"]] >= series[BENCH_INDEX["gcc/s"]]
+
+    def test_every_benchmark_within_oracle_bound(self, fig8):
+        oracle = fig8["per_benchmark_accuracy"]["Perfect Markov 1"]
+        real = fig8["per_benchmark_accuracy"]["Markov 2"]
+        for name, index in BENCH_INDEX.items():
+            assert real[index] <= oracle[index] + 5.0, name

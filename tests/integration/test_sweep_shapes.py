@@ -1,0 +1,68 @@
+"""Shape checks through the generic sweep tool.
+
+Reproduces the figures' orderings via sweep_classifier, confirming the
+general tool and the hand-built experiments agree.
+"""
+
+import pytest
+
+from repro.harness.sweep import sweep_classifier
+
+SCALE = 0.25
+BENCHES = ("bzip2/p", "gcc/s", "gzip/p", "mcf")
+
+
+@pytest.fixture(scope="module")
+def threshold_sweep():
+    return sweep_classifier(
+        "similarity_threshold", [0.0625, 0.125, 0.25, 0.5],
+        benchmarks=BENCHES, scale=SCALE,
+    )
+
+
+@pytest.fixture(scope="module")
+def min_count_sweep():
+    return sweep_classifier(
+        "min_count_threshold", [0, 2, 4, 8, 16],
+        benchmarks=BENCHES, scale=SCALE,
+    )
+
+
+class TestThresholdSweep:
+    def test_tighter_thresholds_lower_cov(self, threshold_sweep):
+        averages = threshold_sweep.averages("cov")
+        assert averages[0.0625] <= averages[0.5]
+
+    def test_loose_threshold_merges_phases(self, threshold_sweep):
+        averages = threshold_sweep.averages("phases")
+        assert averages[0.5] <= min(
+            averages[0.0625], averages[0.125], averages[0.25]
+        )
+
+    def test_min_count_inverts_naive_phase_ordering(self, threshold_sweep):
+        """Under min-count 8, tighter thresholds do NOT inflate the
+        phase count the way they do at min-count 0 (fig2/fig4): the
+        extra entries churn out of the table before maturing into real
+        phase IDs. The sweep exposes this interaction — tight and
+        default thresholds allocate comparable numbers of phases."""
+        averages = threshold_sweep.averages("phases")
+        assert averages[0.0625] < 3 * averages[0.25]
+        assert averages[0.25] < 3 * max(averages[0.0625], 1.0)
+
+
+class TestMinCountSweep:
+    def test_phase_counts_monotone_nonincreasing(self, min_count_sweep):
+        averages = min_count_sweep.averages("phases")
+        ordered = [averages[v] for v in (0, 2, 4, 8, 16)]
+        assert all(a >= b - 1e-9 for a, b in zip(ordered, ordered[1:]))
+
+    def test_transition_time_monotone_nondecreasing(self, min_count_sweep):
+        averages = min_count_sweep.averages("transition")
+        ordered = [averages[v] for v in (0, 2, 4, 8, 16)]
+        assert all(a <= b + 1e-9 for a, b in zip(ordered, ordered[1:]))
+
+    def test_mispredictions_improve_then_saturate(self, min_count_sweep):
+        averages = min_count_sweep.averages("lv_mispredict")
+        assert averages[8] < averages[0]
+        # Doubling past the paper's choice buys little.
+        assert abs(averages[16] - averages[8]) < 5.0

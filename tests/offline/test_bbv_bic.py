@@ -1,0 +1,116 @@
+"""Unit tests for BBV construction, projection, and BIC selection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TraceError
+from repro.offline.bbv import build_bbv_matrix, random_projection
+from repro.offline.bic import bic_score, pick_k_by_bic
+from repro.offline.kmeans import kmeans
+from repro.workloads.trace import Interval, IntervalTrace
+
+
+def make_trace(rows):
+    """rows: list of dicts pc -> instruction count."""
+    intervals = []
+    for row in rows:
+        pcs = np.array(list(row.keys()), dtype=np.int64)
+        counts = np.array(list(row.values()), dtype=np.int64)
+        intervals.append(Interval(pcs, counts, cpi=1.0))
+    return IntervalTrace("t", intervals)
+
+
+class TestBBV:
+    def test_rows_normalized(self):
+        trace = make_trace([{4: 10, 8: 30}, {8: 5}])
+        bbv = build_bbv_matrix(trace)
+        assert np.allclose(bbv.matrix.sum(axis=1), 1.0)
+
+    def test_columns_cover_all_pcs(self):
+        trace = make_trace([{4: 1}, {8: 1}, {12: 1}])
+        bbv = build_bbv_matrix(trace)
+        assert bbv.num_blocks == 3
+        assert set(bbv.block_pcs.tolist()) == {4, 8, 12}
+
+    def test_weights_proportional(self):
+        trace = make_trace([{4: 10, 8: 30}])
+        bbv = build_bbv_matrix(trace)
+        col4 = int(np.nonzero(bbv.block_pcs == 4)[0][0])
+        col8 = int(np.nonzero(bbv.block_pcs == 8)[0][0])
+        assert bbv.matrix[0, col8] == pytest.approx(0.75)
+        assert bbv.matrix[0, col4] == pytest.approx(0.25)
+
+    def test_identical_intervals_identical_rows(self):
+        trace = make_trace([{4: 2, 8: 6}, {4: 2, 8: 6}])
+        bbv = build_bbv_matrix(trace)
+        assert np.allclose(bbv.matrix[0], bbv.matrix[1])
+
+
+class TestRandomProjection:
+    def test_shape(self, rng):
+        data = rng.random((20, 100))
+        out = random_projection(data, dimensions=15)
+        assert out.shape == (20, 15)
+
+    def test_deterministic(self, rng):
+        data = rng.random((10, 50))
+        assert np.allclose(
+            random_projection(data, 8, seed=1),
+            random_projection(data, 8, seed=1),
+        )
+
+    def test_projection_to_higher_dims_is_identity(self, rng):
+        data = rng.random((5, 4))
+        out = random_projection(data, dimensions=10)
+        assert np.allclose(out, data)
+
+    def test_preserves_relative_distances_roughly(self, rng):
+        # Two tight groups far apart must stay separated after
+        # projection (Johnson-Lindenstrauss in spirit).
+        a = rng.normal(0.0, 0.01, size=(10, 200))
+        b = rng.normal(1.0, 0.01, size=(10, 200))
+        data = np.vstack([a, b])
+        out = random_projection(data, dimensions=15, seed=3)
+        within = np.linalg.norm(out[0] - out[5])
+        across = np.linalg.norm(out[0] - out[15])
+        assert across > 3 * within
+
+    def test_invalid_dimensions(self, rng):
+        with pytest.raises(ConfigurationError):
+            random_projection(rng.random((5, 10)), dimensions=0)
+
+
+class TestBIC:
+    def test_right_k_scores_best_on_blobs(self, rng):
+        centers = [(0, 0), (6, 6), (0, 6)]
+        data = np.vstack([
+            rng.normal(loc=c, scale=0.05, size=(25, 2)) for c in centers
+        ])
+        scores = {
+            k: bic_score(data, kmeans(data, k, seed=4)) for k in (1, 2, 3, 5)
+        }
+        assert scores[3] > scores[1]
+        assert scores[3] > scores[2]
+
+    def test_more_points_than_clusters_required(self, rng):
+        data = rng.normal(size=(3, 2))
+        clustering = kmeans(data, 3)
+        assert bic_score(data, clustering) == float("-inf")
+
+    def test_pick_k_smallest_above_threshold(self):
+        # Scores rising then flat: threshold 0.9 picks the first k
+        # reaching 90% of the range.
+        scores = [-100.0, -15.0, -10.0, -11.0]
+        # Range is [-100, -10]; -15 sits at 94% of it, above threshold.
+        assert pick_k_by_bic(scores, [1, 2, 3, 4], threshold=0.9) == 2
+        # A stricter threshold forces the best k instead.
+        assert pick_k_by_bic(scores, [1, 2, 3, 4], threshold=0.99) == 3
+
+    def test_pick_k_handles_all_equal(self):
+        assert pick_k_by_bic([-5.0, -5.0], [1, 2]) == 1
+
+    def test_pick_k_validation(self):
+        with pytest.raises(ConfigurationError):
+            pick_k_by_bic([], [], threshold=0.9)
+        with pytest.raises(ConfigurationError):
+            pick_k_by_bic([1.0], [1], threshold=0.0)

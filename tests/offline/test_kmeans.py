@@ -1,0 +1,86 @@
+"""Unit tests for the k-means implementation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.offline.kmeans import kmeans
+
+
+def blobs(rng, centers, points_per_center=30, spread=0.05):
+    """Well-separated Gaussian blobs for recovery tests."""
+    data = []
+    for center in centers:
+        data.append(
+            rng.normal(loc=center, scale=spread,
+                       size=(points_per_center, len(center)))
+        )
+    return np.vstack(data)
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self, rng):
+        data = blobs(rng, [(0, 0), (5, 5), (0, 5)])
+        result = kmeans(data, 3, seed=1)
+        # Each blob of 30 consecutive points shares one label.
+        for start in range(0, 90, 30):
+            labels = result.labels[start:start + 30]
+            assert len(set(labels.tolist())) == 1
+        # And the three blobs get three distinct labels.
+        assert len({int(result.labels[i]) for i in (0, 30, 60)}) == 3
+
+    def test_k1_single_cluster(self, rng):
+        data = rng.normal(size=(20, 3))
+        result = kmeans(data, 1)
+        assert result.k == 1
+        assert (result.labels == 0).all()
+        assert np.allclose(result.centroids[0], data.mean(axis=0))
+
+    def test_inertia_decreases_with_k(self, rng):
+        data = blobs(rng, [(0, 0), (4, 4), (8, 0), (4, -4)])
+        inertias = [kmeans(data, k, seed=2).inertia for k in (1, 2, 4)]
+        assert inertias[0] > inertias[1] > inertias[2]
+
+    def test_k_equals_n_zero_inertia(self, rng):
+        data = rng.normal(size=(6, 2))
+        result = kmeans(data, 6, seed=0)
+        assert result.inertia == pytest.approx(0.0, abs=1e-9)
+
+    def test_labels_within_range(self, rng):
+        data = rng.normal(size=(40, 4))
+        result = kmeans(data, 5)
+        assert result.labels.min() >= 0
+        assert result.labels.max() < 5
+
+    def test_cluster_sizes_sum_to_n(self, rng):
+        data = rng.normal(size=(33, 2))
+        result = kmeans(data, 4)
+        assert result.cluster_sizes().sum() == 33
+
+    def test_deterministic_under_seed(self, rng):
+        data = rng.normal(size=(50, 3))
+        a = kmeans(data, 4, seed=9)
+        b = kmeans(data, 4, seed=9)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_duplicate_points_handled(self):
+        data = np.ones((10, 2))
+        result = kmeans(data, 3)
+        assert result.inertia == pytest.approx(0.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"k": 0},
+        {"k": 100},
+        {"restarts": 0},
+        {"max_iterations": 0},
+    ])
+    def test_validation(self, rng, kwargs):
+        data = rng.normal(size=(10, 2))
+        params = dict(k=2)
+        params.update(kwargs)
+        with pytest.raises(ConfigurationError):
+            kmeans(data, **params)
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(ConfigurationError):
+            kmeans(np.empty((0, 2)), 1)

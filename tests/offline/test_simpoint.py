@@ -1,0 +1,136 @@
+"""Tests for the SimPoint classifier and simulation points."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cov import cov_of, weighted_cov
+from repro.core import ClassifierConfig, PhaseClassifier
+from repro.errors import ConfigurationError, TraceError
+from repro.offline import SimPointClassifier
+from repro.workloads.trace import Interval, IntervalTrace
+
+
+def synthetic_trace(rng, pattern=(0, 0, 0, 1, 1, 0, 0, 1, 1, 1) * 4):
+    """Two code behaviours with distinct CPI, noisy BBV weights."""
+    populations = {
+        0: (np.arange(0x1000, 0x1000 + 40, 4), 1.0),
+        1: (np.arange(0x9000, 0x9000 + 40, 4), 2.5),
+    }
+    intervals = []
+    for behaviour in pattern:
+        pcs, cpi = populations[behaviour]
+        weights = rng.dirichlet(np.full(len(pcs), 5.0))
+        counts = np.maximum((weights * 100000).astype(np.int64), 1)
+        intervals.append(
+            Interval(pcs, counts, cpi=cpi * float(rng.uniform(0.97, 1.03)),
+                     region=behaviour)
+        )
+    return IntervalTrace("synthetic", intervals)
+
+
+class TestSimPointClassifier:
+    def test_recovers_two_behaviours(self, rng):
+        trace = synthetic_trace(rng)
+        result = SimPointClassifier(max_k=5).classify(trace)
+        regions = trace.regions
+        # All intervals of one region share a label, and the two
+        # regions get different labels.
+        labels0 = set(result.labels[regions == 0].tolist())
+        labels1 = set(result.labels[regions == 1].tolist())
+        assert len(labels0) == 1
+        assert len(labels1) == 1
+        assert labels0 != labels1
+
+    def test_simulation_point_weights_sum_to_one(self, rng):
+        result = SimPointClassifier(max_k=5).classify(synthetic_trace(rng))
+        assert sum(
+            p.weight for p in result.simulation_points
+        ) == pytest.approx(1.0)
+
+    def test_representative_belongs_to_its_phase(self, rng):
+        result = SimPointClassifier(max_k=5).classify(synthetic_trace(rng))
+        for point in result.simulation_points:
+            assert result.labels[point.interval_index] == point.phase
+
+    def test_estimate_mean_close_to_truth(self, rng):
+        trace = synthetic_trace(rng)
+        result = SimPointClassifier(max_k=5).classify(trace)
+        estimate = result.estimate_mean(trace.cpis)
+        truth = float(trace.cpis.mean())
+        assert abs(estimate - truth) / truth < 0.1
+
+    def test_estimate_mean_length_checked(self, rng):
+        trace = synthetic_trace(rng)
+        result = SimPointClassifier(max_k=3).classify(trace)
+        with pytest.raises(TraceError):
+            result.estimate_mean(np.ones(3))
+
+    def test_bic_scores_recorded(self, rng):
+        result = SimPointClassifier(max_k=4).classify(synthetic_trace(rng))
+        assert len(result.bic_scores) == 4
+
+    def test_max_k_validation(self):
+        with pytest.raises(ConfigurationError):
+            SimPointClassifier(max_k=0)
+
+    def test_deterministic(self, rng):
+        trace = synthetic_trace(rng)
+        a = SimPointClassifier(max_k=4, seed=7).classify(trace)
+        b = SimPointClassifier(max_k=4, seed=7).classify(trace)
+        assert np.array_equal(a.labels, b.labels)
+
+
+class TestOnlineVsOffline:
+    def test_online_cov_comparable_to_simpoint(self, small_trace):
+        """The paper's §4.4 claim, on a real benchmark trace."""
+        online = PhaseClassifier(
+            ClassifierConfig(
+                num_counters=16, table_entries=32,
+                similarity_threshold=0.25, min_count_threshold=8,
+            )
+        ).classify_trace(small_trace)
+        online_cov = weighted_cov(online, small_trace)
+
+        offline = SimPointClassifier(max_k=10).classify(small_trace)
+        cpis = small_trace.cpis
+        offline_cov = 0.0
+        for _, indices in offline.phase_interval_indices().items():
+            offline_cov += (
+                indices.size / len(small_trace) * cov_of(cpis[indices])
+            )
+        # "Comparable": within a factor of two either way.
+        assert online_cov < 2.0 * offline_cov + 0.05
+        assert offline_cov < 2.0 * online_cov + 0.05
+
+
+class TestEarlyPoints:
+    def test_early_points_never_later_than_standard(self, rng):
+        trace = synthetic_trace(rng)
+        standard = SimPointClassifier(max_k=4, seed=3).classify(trace)
+        early = SimPointClassifier(
+            max_k=4, seed=3, early_points=True
+        ).classify(trace)
+        assert early.k == standard.k
+        by_phase_standard = {
+            p.phase: p.interval_index for p in standard.simulation_points
+        }
+        for point in early.simulation_points:
+            assert point.interval_index <= by_phase_standard[point.phase]
+
+    def test_early_points_still_representative(self, rng):
+        trace = synthetic_trace(rng)
+        early = SimPointClassifier(
+            max_k=4, early_points=True
+        ).classify(trace)
+        estimate = early.estimate_mean(trace.cpis)
+        truth = float(trace.cpis.mean())
+        assert abs(estimate - truth) / truth < 0.15
+
+    def test_weights_unchanged_by_early_selection(self, rng):
+        trace = synthetic_trace(rng)
+        early = SimPointClassifier(
+            max_k=4, early_points=True
+        ).classify(trace)
+        assert sum(
+            p.weight for p in early.simulation_points
+        ) == pytest.approx(1.0)

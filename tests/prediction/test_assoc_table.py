@@ -1,0 +1,90 @@
+"""Unit tests for the set-associative prediction table."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.prediction.assoc_table import AssociativeTable
+
+
+class TestGeometry:
+    def test_paper_default_32_entry_4_way(self):
+        table = AssociativeTable()
+        assert table.entries == 32
+        assert table.assoc == 4
+        assert table.num_sets == 8
+
+    @pytest.mark.parametrize("entries,assoc", [(0, 4), (32, 0), (30, 4)])
+    def test_invalid_geometry(self, entries, assoc):
+        with pytest.raises(ConfigurationError):
+            AssociativeTable(entries=entries, assoc=assoc)
+
+
+class TestLookupInsert:
+    def test_miss_returns_none(self):
+        assert AssociativeTable().lookup("missing") is None
+
+    def test_insert_then_lookup(self):
+        table = AssociativeTable()
+        table.insert("key", 42)
+        assert table.lookup("key") == 42
+
+    def test_insert_overwrites(self):
+        table = AssociativeTable()
+        table.insert("key", 1)
+        table.insert("key", 2)
+        assert table.lookup("key") == 2
+        assert len(table) == 1
+
+    def test_peek_does_not_touch_lru(self):
+        table = AssociativeTable(entries=2, assoc=2)
+        table.insert("a", 1)
+        table.insert("b", 2)
+        table.peek("a")           # must NOT refresh a
+        table.lookup("b")         # b is MRU
+        table.insert("c", 3)      # evicts a (LRU despite the peek)
+        assert table.lookup("a") is None
+        assert table.lookup("b") == 2
+
+    def test_remove(self):
+        table = AssociativeTable()
+        table.insert("key", 1)
+        assert table.remove("key") is True
+        assert table.remove("key") is False
+        assert table.lookup("key") is None
+
+    def test_items_lists_all(self):
+        table = AssociativeTable()
+        table.insert("a", 1)
+        table.insert("b", 2)
+        assert dict(table.items()) == {"a": 1, "b": 2}
+
+    def test_tuple_keys(self):
+        table = AssociativeTable()
+        key = ("rle", 2, ((1, 5), (2, 3)))
+        table.insert(key, 7)
+        assert table.lookup(key) == 7
+
+
+class TestEviction:
+    def test_lru_evicted_within_set(self):
+        table = AssociativeTable(entries=2, assoc=2)  # one set
+        table.insert("a", 1)
+        table.insert("b", 2)
+        table.lookup("a")          # refresh a
+        table.insert("c", 3)       # evicts b
+        assert table.lookup("b") is None
+        assert table.lookup("a") == 1
+        assert table.evictions == 1
+
+    def test_capacity_respected(self):
+        table = AssociativeTable(entries=8, assoc=2)
+        for i in range(100):
+            table.insert(("k", i), i)
+        assert len(table) <= 8
+
+    def test_insertion_counter(self):
+        table = AssociativeTable()
+        table.insert("a", 1)
+        table.insert("b", 2)
+        table.insert("a", 3)  # overwrite: not a new insertion
+        assert table.insertions == 2

@@ -1,0 +1,111 @@
+"""Unit tests for phase-change prediction evaluation (Figure 8)."""
+
+import pytest
+
+from repro.errors import PredictionError
+from repro.prediction.change_eval import (
+    CHANGE_CATEGORIES,
+    ChangePredictionStats,
+    evaluate_change_predictor,
+)
+from repro.prediction.markov import MarkovChangePredictor
+from repro.prediction.perfect import PerfectMarkovPredictor
+from repro.prediction.rle import RLEChangePredictor
+
+
+class TestStats:
+    def test_categories(self):
+        stats = ChangePredictionStats()
+        for category in CHANGE_CATEGORIES:
+            stats.record(category)
+        assert stats.total_changes == 5
+        assert stats.correct == 2
+        assert stats.accuracy == pytest.approx(2 / 5)
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(PredictionError):
+            ChangePredictionStats().record("banana")
+
+    def test_rates(self):
+        stats = ChangePredictionStats()
+        stats.record("conf_correct")
+        stats.record("conf_incorrect")
+        stats.record("tag_miss")
+        assert stats.confident_coverage == pytest.approx(1 / 3)
+        assert stats.misprediction_rate == pytest.approx(1 / 3)
+
+    def test_fractions_sum_to_one(self):
+        stats = ChangePredictionStats()
+        stats.record("conf_correct")
+        stats.record("tag_miss")
+        assert sum(stats.fractions().values()) == pytest.approx(1.0)
+
+    def test_empty_stats_safe(self):
+        stats = ChangePredictionStats()
+        assert stats.accuracy == 0.0
+        assert stats.misprediction_rate == 0.0
+
+
+class TestEvaluation:
+    def test_only_changes_scored(self):
+        stats = evaluate_change_predictor(
+            [1, 1, 1, 2, 2, 1], MarkovChangePredictor(1)
+        )
+        assert stats.total_changes == 2  # 1->2 and 2->1
+
+    def test_no_changes_no_counts(self):
+        stats = evaluate_change_predictor([1] * 20, MarkovChangePredictor(1))
+        assert stats.total_changes == 0
+
+    def test_periodic_stream_learned(self):
+        stream = [1, 1, 2, 2, 3, 3] * 10
+        stats = evaluate_change_predictor(
+            stream, MarkovChangePredictor(1, use_confidence=False)
+        )
+        # After one lap, every change context repeats with one outcome.
+        assert stats.accuracy > 0.7
+        assert stats.counts["tag_miss"] <= 3
+
+    def test_confidence_splits_categories(self):
+        stream = [1, 1, 2, 2] * 15
+        stats = evaluate_change_predictor(
+            stream, MarkovChangePredictor(1, use_confidence=True)
+        )
+        # First hits are unconfident, later ones confident.
+        assert stats.counts["unconf_correct"] > 0
+        assert stats.counts["conf_correct"] > 0
+
+    def test_rle_cold_lengths_miss(self):
+        # Lengths never repeat: every RLE change key is cold.
+        stream = []
+        for length in (1, 2, 3, 4, 5, 6, 7):
+            stream.extend([1] * length)
+            stream.extend([2] * (length + 7))
+        stats = evaluate_change_predictor(
+            stream, RLEChangePredictor(2, use_confidence=False)
+        )
+        assert stats.counts["tag_miss"] == stats.total_changes
+
+    def test_perfect_markov_evaluation(self):
+        stream = [1, 2, 3] * 10
+        stats = evaluate_change_predictor(stream, PerfectMarkovPredictor(1))
+        assert stats.counts["tag_miss"] == 0
+        assert stats.counts["conf_incorrect"] == 3  # cold lap, 1->2 counted once warm
+        assert stats.accuracy > 0.85
+
+    def test_perfect_markov_bounds_real_markov(self):
+        import numpy as np
+
+        rng = np.random.default_rng(1)
+        stream = []
+        phases = [1, 2, 3, 4]
+        for _ in range(100):
+            phase = int(rng.choice(phases))
+            stream.extend([phase] * int(rng.integers(1, 4)))
+        oracle = evaluate_change_predictor(
+            list(stream), PerfectMarkovPredictor(1)
+        )
+        real = evaluate_change_predictor(
+            list(stream), MarkovChangePredictor(1, use_confidence=False)
+        )
+        assert oracle.accuracy >= real.accuracy

@@ -1,0 +1,108 @@
+"""Unit tests for saturating and confidence counters."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.prediction.counters import (
+    ConfidenceConfig,
+    ConfidenceCounter,
+    SaturatingCounter,
+)
+
+
+class TestSaturatingCounter:
+    def test_saturates_high(self):
+        counter = SaturatingCounter(bits=2)
+        for _ in range(10):
+            counter.up()
+        assert counter.value == 3
+
+    def test_saturates_low(self):
+        counter = SaturatingCounter(bits=2, initial=1)
+        for _ in range(5):
+            counter.down()
+        assert counter.value == 0
+
+    def test_custom_increments(self):
+        counter = SaturatingCounter(bits=4, increment=3, decrement=2)
+        counter.up()
+        assert counter.value == 3
+        counter.down()
+        assert counter.value == 1
+
+    def test_reset(self):
+        counter = SaturatingCounter(bits=3, initial=5)
+        counter.reset()
+        assert counter.value == 0
+        counter.reset(7)
+        assert counter.value == 7
+
+    def test_reset_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            SaturatingCounter(bits=2).reset(4)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"bits": 0},
+        {"bits": 31},
+        {"bits": 3, "initial": 8},
+        {"bits": 3, "increment": 0},
+        {"bits": 3, "decrement": -1},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SaturatingCounter(**kwargs)
+
+
+class TestConfidenceCounter:
+    def test_paper_3bit_threshold_6(self):
+        counter = ConfidenceCounter(bits=3, threshold=6)
+        assert not counter.confident
+        for _ in range(6):
+            counter.record(True)
+        assert counter.confident
+
+    def test_default_threshold_one_below_saturation(self):
+        counter = ConfidenceCounter(bits=3)
+        assert counter.threshold == 6
+
+    def test_one_bit_counter_confident_only_at_saturation(self):
+        counter = ConfidenceCounter(bits=1)
+        assert counter.threshold == 1
+        assert not counter.confident
+        counter.record(True)
+        assert counter.confident
+        counter.record(False)
+        assert not counter.confident
+
+    def test_incorrect_predictions_demote(self):
+        counter = ConfidenceCounter(bits=3, threshold=6)
+        for _ in range(7):
+            counter.record(True)
+        counter.record(False)
+        counter.record(False)
+        assert not counter.confident
+
+    def test_threshold_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            ConfidenceCounter(bits=2, threshold=5)
+
+
+class TestConfidenceConfig:
+    def test_paper_defaults(self):
+        config = ConfidenceConfig()
+        assert config.last_value_bits == 3
+        assert config.last_value_threshold == 6
+        assert config.change_table_bits == 1
+
+    def test_counter_factories(self):
+        config = ConfidenceConfig()
+        lv = config.last_value_counter()
+        assert lv.bits == 3 and lv.threshold == 6
+        change = config.change_table_counter()
+        assert change.bits == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ConfidenceConfig(last_value_threshold=8)
+        with pytest.raises(ConfigurationError):
+            ConfidenceConfig(change_table_bits=0)

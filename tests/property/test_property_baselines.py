@@ -1,0 +1,132 @@
+"""Property-based tests for the baselines and IO (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.metric_prediction import (
+    EWMAPredictor,
+    LastValueMetricPredictor,
+    evaluate_metric_predictor,
+)
+from repro.baselines.working_set import (
+    WorkingSetConfig,
+    WorkingSetSignature,
+)
+from repro.workloads.io import load_trace, save_trace
+from repro.workloads.trace import Interval, IntervalTrace
+
+pc_lists = st.lists(
+    st.integers(0, 2**24).map(lambda v: v * 4),
+    min_size=1, max_size=60, unique=True,
+)
+
+
+def interval_from_pcs(pcs):
+    pcs = np.asarray(sorted(pcs), dtype=np.int64)
+    counts = np.full(pcs.shape, 10, dtype=np.int64)
+    return Interval(pcs, counts, cpi=1.0)
+
+
+class TestWorkingSetDistanceProperties:
+    @given(pc_lists, pc_lists)
+    @settings(max_examples=50)
+    def test_symmetric_and_bounded(self, pcs_a, pcs_b):
+        config = WorkingSetConfig()
+        a = WorkingSetSignature.from_interval(
+            interval_from_pcs(pcs_a), config
+        )
+        b = WorkingSetSignature.from_interval(
+            interval_from_pcs(pcs_b), config
+        )
+        d = a.distance(b)
+        assert 0.0 <= d <= 1.0
+        assert d == pytest.approx(b.distance(a))
+
+    @given(pc_lists)
+    @settings(max_examples=50)
+    def test_self_distance_zero(self, pcs):
+        config = WorkingSetConfig()
+        sig = WorkingSetSignature.from_interval(
+            interval_from_pcs(pcs), config
+        )
+        assert sig.distance(sig) == 0.0
+
+    @given(pc_lists, pc_lists)
+    @settings(max_examples=50)
+    def test_superset_distance_below_one(self, pcs_a, extra):
+        """A signature vs itself-plus-extra-code never reaches the
+        disjoint maximum."""
+        config = WorkingSetConfig()
+        a = WorkingSetSignature.from_interval(
+            interval_from_pcs(pcs_a), config
+        )
+        union = WorkingSetSignature.from_interval(
+            interval_from_pcs(list(set(pcs_a) | set(extra))), config
+        )
+        assert a.distance(union) < 1.0
+
+
+class TestMetricPredictorProperties:
+    @given(st.lists(st.floats(0.1, 10.0), min_size=2, max_size=100))
+    @settings(max_examples=50)
+    def test_mape_non_negative_and_finite(self, values):
+        stats = evaluate_metric_predictor(
+            values, LastValueMetricPredictor()
+        )
+        assert stats.mape >= 0.0
+        assert np.isfinite(stats.mean_absolute_error)
+
+    @given(st.lists(st.floats(0.5, 5.0), min_size=3, max_size=50),
+           st.floats(0.1, 1.0))
+    @settings(max_examples=50)
+    def test_ewma_prediction_within_observed_range(self, values, alpha):
+        predictor = EWMAPredictor(alpha=alpha)
+        for value in values:
+            predictor.observe(value)
+            prediction = predictor.predict()
+            assert min(values) - 1e-9 <= prediction <= max(values) + 1e-9
+
+
+class TestTraceIOProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.lists(
+                    st.tuples(st.integers(0, 2**20), st.integers(0, 500)),
+                    min_size=1, max_size=10,
+                ),
+                st.floats(0.1, 20.0),
+                st.integers(-1, 3),
+            ),
+            min_size=1, max_size=15,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_round_trip_exact(self, raw_intervals):
+        import tempfile
+        from pathlib import Path
+
+        intervals = []
+        for records, cpi, region in raw_intervals:
+            pcs = np.array([pc for pc, _ in records], dtype=np.int64)
+            counts = np.array([c for _, c in records], dtype=np.int64)
+            intervals.append(
+                Interval(pcs, counts, cpi=float(cpi), region=region,
+                         is_transition=region < 0)
+            )
+        trace = IntervalTrace("prop", intervals, interval_instructions=1)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = save_trace(trace, Path(tmp) / "trace")
+            loaded = load_trace(path)
+        assert len(loaded) == len(trace)
+        for original, restored in zip(trace, loaded):
+            assert np.array_equal(
+                original.branch_pcs, restored.branch_pcs
+            )
+            assert np.array_equal(
+                original.instr_counts, restored.instr_counts
+            )
+            assert original.cpi == restored.cpi
+            assert original.region == restored.region

@@ -1,0 +1,90 @@
+"""Property-based tests for the offline (SimPoint) machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.offline.bic import bic_score, pick_k_by_bic
+from repro.offline.bbv import random_projection
+from repro.offline.kmeans import kmeans
+
+datasets = st.integers(0, 2**31 - 1).flatmap(
+    lambda seed: st.tuples(
+        st.just(seed), st.integers(5, 40), st.integers(2, 6)
+    )
+)
+
+
+def make_data(seed, points, dims):
+    return np.random.default_rng(seed).normal(size=(points, dims))
+
+
+class TestKMeansProperties:
+    @given(datasets, st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_invariants(self, dataset, k):
+        seed, points, dims = dataset
+        data = make_data(seed, points, dims)
+        k = min(k, points)
+        result = kmeans(data, k, seed=seed % 1000, restarts=2)
+        assert result.labels.shape == (points,)
+        assert result.centroids.shape == (k, dims)
+        assert result.inertia >= 0.0
+        assert result.cluster_sizes().sum() == points
+
+    @given(datasets)
+    @settings(max_examples=20, deadline=None)
+    def test_inertia_nonincreasing_in_k(self, dataset):
+        seed, points, dims = dataset
+        data = make_data(seed, points, dims)
+        ks = [1, min(3, points), min(5, points)]
+        inertias = [
+            kmeans(data, k, seed=1, restarts=3).inertia for k in ks
+        ]
+        for a, b in zip(inertias, inertias[1:]):
+            assert b <= a + 1e-6
+
+    @given(datasets)
+    @settings(max_examples=20, deadline=None)
+    def test_centroids_within_data_hull_box(self, dataset):
+        seed, points, dims = dataset
+        data = make_data(seed, points, dims)
+        result = kmeans(data, min(3, points), seed=2)
+        assert (result.centroids >= data.min(axis=0) - 1e-9).all()
+        assert (result.centroids <= data.max(axis=0) + 1e-9).all()
+
+
+class TestProjectionProperties:
+    @given(datasets, st.integers(1, 10))
+    @settings(max_examples=25, deadline=None)
+    def test_projection_shape_and_determinism(self, dataset, target):
+        seed, points, dims = dataset
+        data = make_data(seed, points, dims)
+        out = random_projection(data, dimensions=target, seed=5)
+        expected = min(target, dims) if target < dims else dims
+        assert out.shape[0] == points
+        if target < dims:
+            assert out.shape[1] == target
+        assert np.allclose(
+            out, random_projection(data, dimensions=target, seed=5)
+        )
+
+
+class TestBICProperties:
+    @given(datasets)
+    @settings(max_examples=20, deadline=None)
+    def test_bic_finite_when_enough_points(self, dataset):
+        seed, points, dims = dataset
+        data = make_data(seed, points, dims)
+        k = min(2, points - 1)
+        if k < 1:
+            return
+        clustering = kmeans(data, k, seed=3)
+        assert np.isfinite(bic_score(data, clustering))
+
+    @given(st.lists(st.floats(-1e6, 0.0), min_size=1, max_size=10))
+    def test_pick_k_returns_valid_k(self, scores):
+        ks = list(range(1, len(scores) + 1))
+        chosen = pick_k_by_bic(scores, ks, threshold=0.9)
+        assert chosen in ks

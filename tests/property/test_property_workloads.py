@@ -1,0 +1,80 @@
+"""Property-based tests for the workload substrate (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.runs import extract_runs
+from repro.workloads import address_stream
+from repro.workloads.basic_block import CodeRegion
+from repro.workloads.phase_script import (
+    PhaseScript,
+    Segment,
+    hierarchical_pattern,
+    irregular_pattern,
+    stable_pattern,
+)
+
+seeds = st.integers(0, 2**31 - 1)
+
+
+class TestAddressStreamProperties:
+    @given(seeds, st.sampled_from(address_stream.PATTERNS),
+           st.integers(1, 500), st.sampled_from([4096, 65536, 1 << 20]))
+    @settings(max_examples=40)
+    def test_streams_in_bounds(self, seed, pattern, count, working_set):
+        rng = np.random.default_rng(seed)
+        stream = address_stream.generate(
+            pattern, rng, count, base=0x1000, working_set_bytes=working_set
+        )
+        assert stream.shape == (count,)
+        assert stream.min() >= 0x1000
+        assert stream.max() < 0x1000 + working_set
+
+
+class TestPhaseScriptProperties:
+    @given(seeds, st.integers(1, 8), st.integers(30, 500))
+    @settings(max_examples=40)
+    def test_patterns_cover_exact_total(self, seed, regions, total):
+        rng = np.random.default_rng(seed)
+        for build in (stable_pattern, hierarchical_pattern,
+                      irregular_pattern):
+            script = build(np.random.default_rng(seed), regions, total)
+            assert script.total_intervals == total
+            assert all(s.length >= 1 for s in script.segments)
+            assert max(script.regions_used()) < regions
+
+    @given(st.lists(
+        st.tuples(st.integers(0, 3), st.integers(1, 9)),
+        min_size=1, max_size=40,
+    ))
+    def test_coalesce_preserves_total(self, raw):
+        script = PhaseScript([Segment(r, l) for r, l in raw])
+        merged = script.coalesced()
+        assert merged.total_intervals == script.total_intervals
+        regions = [s.region for s in merged.segments]
+        assert all(a != b for a, b in zip(regions, regions[1:]))
+
+
+class TestRegionSamplingProperties:
+    @given(seeds, st.integers(2, 24), st.integers(1_000, 2_000_000))
+    @settings(max_examples=30, deadline=None)
+    def test_interval_instruction_conservation(self, seed, blocks,
+                                               instructions):
+        rng = np.random.default_rng(seed)
+        region = CodeRegion("p", rng, num_blocks=blocks, code_bytes=8192)
+        pcs, counts, _ = region.sample_interval_records(rng, instructions)
+        assert counts.sum() == instructions
+        assert (counts >= 0).all()
+        assert len(set(pcs.tolist())) == len(pcs)  # aggregated per block
+
+
+class TestRunExtractionRoundTrip:
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=300))
+    def test_runs_reconstruct_stream(self, stream):
+        runs = extract_runs(stream)
+        rebuilt = []
+        for run in runs:
+            rebuilt.extend([run.phase_id] * run.length)
+        assert rebuilt == stream

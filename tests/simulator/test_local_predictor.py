@@ -1,0 +1,84 @@
+"""Tests for the two-level local-history (PAg) predictor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulator.branch import (
+    BimodalPredictor,
+    GSharePredictor,
+    LocalHistoryPredictor,
+)
+
+
+class TestLocalHistory:
+    def test_history_shifts_per_branch(self):
+        predictor = LocalHistoryPredictor(history_bits=4)
+        predictor.update(0x100, True)
+        predictor.update(0x100, False)
+        predictor.update(0x200, True)
+        assert predictor.local_history(0x100) == 0b10
+        assert predictor.local_history(0x200) == 0b1
+
+    def test_learns_per_branch_period(self):
+        # Loop with trip count 5: taken 4x then not taken, repeating.
+        predictor = LocalHistoryPredictor()
+        for i in range(2000):
+            predictor.predict_and_update(0x400, (i % 5) != 4)
+        assert predictor.misprediction_rate < 0.1
+
+    def test_immune_to_interleaved_noise(self):
+        """The defining advantage over gshare: another branch's random
+        outcomes cannot pollute this branch's history."""
+        rng = np.random.default_rng(2)
+        local = LocalHistoryPredictor()
+        gshare = GSharePredictor(history_bits=8, entries=2048)
+        local_wrong = gshare_wrong = total = 0
+        position = 0
+        for _ in range(8000):
+            if rng.random() < 0.5:
+                taken = (position % 6) != 5
+                position += 1
+                total += 1
+                local_wrong += not local.predict_and_update(0x100, taken)
+                gshare_wrong += not gshare.predict_and_update(0x100, taken)
+            else:
+                noise = bool(rng.random() < 0.5)
+                local.predict_and_update(0x204, noise)
+                gshare.predict_and_update(0x204, noise)
+        assert local_wrong / total < gshare_wrong / total
+
+    def test_periodic_pattern_beats_bimodal(self):
+        pattern = [True, True, False] * 800
+        local = LocalHistoryPredictor()
+        bimodal = BimodalPredictor()
+        for taken in pattern:
+            local.predict_and_update(0x40, taken)
+            bimodal.predict_and_update(0x40, taken)
+        assert local.misprediction_rate < bimodal.misprediction_rate
+
+    @pytest.mark.parametrize("kwargs", [
+        {"history_bits": 0},
+        {"history_bits": 21},
+        {"history_entries": 1000},
+        {"pattern_entries": 0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            LocalHistoryPredictor(**kwargs)
+
+    def test_reset_stats(self):
+        predictor = LocalHistoryPredictor()
+        predictor.predict_and_update(0, True)
+        predictor.reset_stats()
+        assert predictor.predictions == 0
+        assert predictor.misprediction_rate == 0.0
+
+    def test_stats_bounds(self):
+        predictor = LocalHistoryPredictor()
+        rng = np.random.default_rng(0)
+        for _ in range(500):
+            predictor.predict_and_update(
+                int(rng.integers(0, 2**16)), bool(rng.random() < 0.5)
+            )
+        assert 0 <= predictor.mispredictions <= predictor.predictions

@@ -1,0 +1,155 @@
+"""Unit tests for the machine model and region calibration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator.machine import Machine, MachineConfig
+from repro.simulator.sampling import SampledStream
+
+
+def make_stream(rng, data_span=4 * 1024, events=2000, bias=0.9,
+                base_ipc=2.0):
+    """A small, cache-friendly stream unless data_span says otherwise."""
+    pcs = 0x400000 + (rng.integers(0, 64, size=events) * 4)
+    return SampledStream(
+        instruction_addresses=0x400000
+        + rng.integers(0, 256, size=events).astype(np.int64) * 4,
+        data_addresses=0x10000000
+        + rng.integers(0, max(data_span // 8, 1), size=events).astype(
+            np.int64
+        ) * 8,
+        branch_pcs=pcs,
+        branch_taken=rng.random(events) < bias,
+        base_ipc=base_ipc,
+        loads_per_instr=0.3,
+        fetches_per_instr=0.25,
+        branches_per_instr=1 / 6,
+    )
+
+
+class TestMachineConfig:
+    def test_table1_geometry(self):
+        cfg = MachineConfig.table1()
+        assert cfg.il1.size_bytes == 16 * 1024
+        assert cfg.il1.assoc == 4
+        assert cfg.il1.block_bytes == 32
+        assert cfg.l2.size_bytes == 128 * 1024
+        assert cfg.l2.assoc == 8
+        assert cfg.l2.block_bytes == 64
+        assert cfg.tlb.page_bytes == 8 * 1024
+        assert cfg.gshare_history_bits == 8
+        assert cfg.bimodal_entries == 8192
+
+
+class TestCalibration:
+    def test_small_working_set_low_miss_ratios(self, rng):
+        machine = Machine()
+        cal = machine.calibrate(make_stream(rng, data_span=4 * 1024))
+        assert cal.dl1_miss_ratio < 0.05
+        assert cal.il1_miss_ratio < 0.05
+        assert cal.tlb_miss_ratio < 0.05
+
+    def test_huge_working_set_high_miss_ratio(self, rng):
+        machine = Machine()
+        small = machine.calibrate(make_stream(rng, data_span=4 * 1024))
+        big = machine.calibrate(make_stream(rng, data_span=4 * 1024 * 1024))
+        assert big.dl1_miss_ratio > small.dl1_miss_ratio + 0.3
+        assert big.cpi > small.cpi
+
+    def test_cpi_consistent_with_rates(self, rng):
+        machine = Machine()
+        cal = machine.calibrate(make_stream(rng))
+        assert cal.cpi == pytest.approx(machine.core.cpi(cal.rates))
+
+    def test_biased_branches_more_predictable(self, rng):
+        machine = Machine()
+        predictable = machine.calibrate(make_stream(rng, bias=0.98))
+        noisy = machine.calibrate(make_stream(rng, bias=0.55))
+        assert (
+            predictable.branch_mispredict_ratio
+            < noisy.branch_mispredict_ratio
+        )
+
+    def test_warmup_fraction_bounds(self, rng):
+        machine = Machine()
+        stream = make_stream(rng)
+        with pytest.raises(SimulationError):
+            machine.calibrate(stream, warmup_fraction=1.0)
+        with pytest.raises(SimulationError):
+            machine.calibrate(stream, warmup_fraction=-0.1)
+
+    def test_rates_fold_in_per_instruction_densities(self, rng):
+        machine = Machine()
+        cal = machine.calibrate(make_stream(rng))
+        stream_loads = 0.3
+        assert cal.rates.dl1_miss_rate == pytest.approx(
+            cal.dl1_miss_ratio * stream_loads
+        )
+        assert cal.rates.branch_rate == pytest.approx(1 / 6)
+
+    def test_calibration_is_deterministic(self):
+        machine = Machine()
+        a = machine.calibrate(make_stream(np.random.default_rng(3)))
+        b = machine.calibrate(make_stream(np.random.default_rng(3)))
+        assert a.cpi == pytest.approx(b.cpi)
+        assert a.dl1_miss_ratio == pytest.approx(b.dl1_miss_ratio)
+
+
+class TestSampledStream:
+    def test_parallel_branch_arrays_enforced(self, rng):
+        with pytest.raises(SimulationError):
+            SampledStream(
+                instruction_addresses=np.array([0]),
+                data_addresses=np.array([0]),
+                branch_pcs=np.array([0, 4]),
+                branch_taken=np.array([True]),
+                base_ipc=1.0,
+                loads_per_instr=0.3,
+                fetches_per_instr=0.25,
+                branches_per_instr=0.2,
+            )
+
+    def test_counts_exposed(self, rng):
+        stream = make_stream(rng, events=100)
+        assert stream.num_branches == 100
+        assert stream.num_data_refs == 100
+        assert stream.num_fetches == 100
+
+    def test_non_positive_ipc_rejected(self, rng):
+        with pytest.raises(SimulationError):
+            SampledStream(
+                instruction_addresses=np.array([0]),
+                data_addresses=np.array([0]),
+                branch_pcs=np.array([0]),
+                branch_taken=np.array([True]),
+                base_ipc=0.0,
+                loads_per_instr=0.3,
+                fetches_per_instr=0.25,
+                branches_per_instr=0.2,
+            )
+
+
+class TestBranchPredictorSelection:
+    @pytest.mark.parametrize("style", ["hybrid", "bimodal", "gshare",
+                                       "local"])
+    def test_all_styles_calibrate(self, rng, style):
+        machine = Machine(MachineConfig(branch_predictor=style))
+        calibration = machine.calibrate(make_stream(rng))
+        assert 0.0 <= calibration.branch_mispredict_ratio <= 1.0
+        assert calibration.cpi > 0
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(SimulationError):
+            MachineConfig(branch_predictor="tage")
+
+    def test_predictor_choice_changes_results(self, rng):
+        biased = make_stream(np.random.default_rng(4), bias=0.6)
+        hybrid = Machine(MachineConfig()).calibrate(biased)
+        biased = make_stream(np.random.default_rng(4), bias=0.6)
+        bimodal = Machine(
+            MachineConfig(branch_predictor="bimodal")
+        ).calibrate(biased)
+        # Different structures, same stream: ratios need not agree.
+        assert hybrid.branch_mispredict_ratio >= 0.0
+        assert bimodal.branch_mispredict_ratio >= 0.0

@@ -1,0 +1,78 @@
+"""Tests for the next-line prefetcher."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulator.cache import Cache, CacheConfig
+from repro.simulator.prefetch import NextLinePrefetcher
+
+
+def make_prefetcher(degree=1, size=1024, assoc=2, block=32):
+    return NextLinePrefetcher(
+        Cache(CacheConfig(size, assoc, block)), degree=degree
+    )
+
+
+class TestNextLinePrefetcher:
+    def test_sequential_stream_mostly_prefetched(self):
+        prefetcher = make_prefetcher()
+        addresses = np.arange(0, 512, 32)
+        for address in addresses:
+            prefetcher.access(int(address))
+        # Every miss pulls in the next line, which then hits: at most
+        # every other access misses, and typically only the first.
+        assert prefetcher.stats.demand_miss_rate < 0.6
+
+    def test_miss_installs_next_block(self):
+        prefetcher = make_prefetcher()
+        prefetcher.access(0)             # miss: prefetches block at 32
+        assert prefetcher.cache.contains(32)
+        assert prefetcher.stats.prefetches_issued == 1
+
+    def test_hit_does_not_prefetch(self):
+        prefetcher = make_prefetcher()
+        prefetcher.access(0)
+        issued = prefetcher.stats.prefetches_issued
+        prefetcher.access(0)             # hit: tagged prefetch stays idle
+        assert prefetcher.stats.prefetches_issued == issued
+
+    def test_useless_prefetch_counted(self):
+        prefetcher = make_prefetcher()
+        prefetcher.cache.access(32)      # target pre-resident
+        prefetcher.access(0)
+        assert prefetcher.stats.prefetches_useless == 1
+        assert prefetcher.stats.prefetches_issued == 0
+
+    def test_degree_two_installs_two_blocks(self):
+        prefetcher = make_prefetcher(degree=2)
+        prefetcher.access(0)
+        assert prefetcher.cache.contains(32)
+        assert prefetcher.cache.contains(64)
+
+    def test_demand_stats_exclude_prefetch_fills(self):
+        prefetcher = make_prefetcher()
+        prefetcher.access(0)
+        # The wrapped cache saw one demand access (the prefetch fill
+        # was compensated out).
+        assert prefetcher.cache.stats.accesses == 1
+        assert prefetcher.cache.stats.misses == 1
+
+    def test_beats_plain_cache_on_sequential_code(self):
+        addresses = np.arange(0, 8 * 1024, 32)
+        plain = Cache(CacheConfig(1024, 2, 32))
+        plain_misses = plain.access_many(addresses)
+        prefetcher = make_prefetcher()
+        for address in addresses:
+            prefetcher.access(int(address))
+        assert prefetcher.stats.demand_misses < plain_misses
+
+    def test_invalid_degree(self):
+        with pytest.raises(ConfigurationError):
+            make_prefetcher(degree=0)
+
+    def test_reset_stats(self):
+        prefetcher = make_prefetcher()
+        prefetcher.access(0)
+        prefetcher.reset_stats()
+        assert prefetcher.stats.demand_accesses == 0

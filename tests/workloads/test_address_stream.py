@@ -1,0 +1,116 @@
+"""Unit tests for the synthetic memory reference generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulator.cache import Cache, CacheConfig
+from repro.workloads import address_stream
+
+
+class TestStrided:
+    def test_addresses_within_working_set(self, rng):
+        stream = address_stream.strided(rng, 100, base=0x1000,
+                                        working_set_bytes=512)
+        assert stream.min() >= 0x1000
+        assert stream.max() < 0x1000 + 512
+
+    def test_consecutive_addresses_differ_by_stride(self, rng):
+        stream = address_stream.strided(rng, 10, 0, 10_000, stride=8)
+        deltas = np.diff(stream)
+        # All deltas are +8 except possibly one wrap-around.
+        assert np.sum(deltas != 8) <= 1
+
+    def test_invalid_stride(self, rng):
+        with pytest.raises(ConfigurationError):
+            address_stream.strided(rng, 10, 0, 100, stride=0)
+
+
+class TestRandom:
+    def test_bounds(self, rng):
+        stream = address_stream.random_in_working_set(
+            rng, 1000, base=0x2000, working_set_bytes=4096
+        )
+        assert stream.min() >= 0x2000
+        assert stream.max() < 0x2000 + 4096
+
+    def test_spread_covers_working_set(self, rng):
+        stream = address_stream.random_in_working_set(
+            rng, 5000, base=0, working_set_bytes=4096
+        )
+        assert len(np.unique(stream // 1024)) == 4  # all quarters touched
+
+
+class TestPointerChase:
+    def test_visits_distinct_nodes(self, rng):
+        stream = address_stream.pointer_chase(
+            rng, 500, base=0, working_set_bytes=64 * 1024, node_bytes=32
+        )
+        # A permutation walk revisits a node only after a full cycle.
+        assert len(np.unique(stream)) > 400
+
+    def test_no_spatial_locality(self, rng):
+        stream = address_stream.pointer_chase(
+            rng, 1000, base=0, working_set_bytes=1024 * 1024
+        )
+        deltas = np.abs(np.diff(stream))
+        assert np.median(deltas) > 1024  # jumps are large
+
+    def test_cache_hostility_vs_strided(self, rng):
+        # The defining property: pointer chase misses far more than a
+        # strided walk over the same working set.
+        ws = 256 * 1024
+        cache_a = Cache(CacheConfig(16 * 1024, 4, 32))
+        cache_b = Cache(CacheConfig(16 * 1024, 4, 32))
+        chase = address_stream.pointer_chase(rng, 3000, 0, ws)
+        walk = address_stream.strided(rng, 3000, 0, ws)
+        miss_chase = cache_a.access_many(chase) / 3000
+        miss_walk = cache_b.access_many(walk) / 3000
+        assert miss_chase > miss_walk + 0.3
+
+    def test_invalid_node_bytes(self, rng):
+        with pytest.raises(ConfigurationError):
+            address_stream.pointer_chase(rng, 10, 0, 100, node_bytes=0)
+
+
+class TestMixed:
+    def test_length_preserved(self, rng):
+        stream = address_stream.mixed(rng, 999, 0, 64 * 1024)
+        assert stream.shape == (999,)
+
+    def test_weights_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            address_stream.mixed(rng, 10, 0, 1024, weights=(1.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            address_stream.mixed(rng, 10, 0, 1024, weights=(0.0, 0.0, 0.0))
+        with pytest.raises(ConfigurationError):
+            address_stream.mixed(rng, 10, 0, 1024, weights=(-1.0, 1.0, 1.0))
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("pattern", address_stream.PATTERNS)
+    def test_all_patterns_generate(self, rng, pattern):
+        stream = address_stream.generate(pattern, rng, 128, 0, 8192)
+        assert stream.shape == (128,)
+        assert stream.dtype == np.int64
+
+    def test_unknown_pattern_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            address_stream.generate("zigzag", rng, 10, 0, 1024)
+
+    def test_invalid_count(self, rng):
+        with pytest.raises(ConfigurationError):
+            address_stream.strided(rng, -1, 0, 1024)
+
+    def test_invalid_working_set(self, rng):
+        with pytest.raises(ConfigurationError):
+            address_stream.strided(rng, 10, 0, 0)
+
+    def test_determinism_under_seed(self):
+        a = address_stream.generate(
+            "mixed", np.random.default_rng(5), 200, 0, 8192
+        )
+        b = address_stream.generate(
+            "mixed", np.random.default_rng(5), 200, 0, 8192
+        )
+        assert np.array_equal(a, b)

@@ -1,0 +1,219 @@
+"""Unit tests for basic blocks, sub-modes and code regions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.basic_block import (
+    BasicBlock,
+    CodeRegion,
+    SubMode,
+    make_submodes,
+)
+
+
+class TestBasicBlock:
+    def test_valid(self):
+        block = BasicBlock(pc=0x400, weight=0.5)
+        assert block.pc == 0x400
+
+    def test_negative_pc_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BasicBlock(pc=-1, weight=0.5)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BasicBlock(pc=0, weight=-0.5)
+
+
+class TestSubMode:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SubMode(weight_multipliers=(-1.0,), cpi_scale=1.0)
+        with pytest.raises(ConfigurationError):
+            SubMode(weight_multipliers=(1.0,), cpi_scale=0.0)
+        with pytest.raises(ConfigurationError):
+            SubMode(weight_multipliers=(1.0,), probability=1.5)
+
+
+class TestCodeRegionConstruction:
+    def test_block_pcs_distinct_and_in_segment(self, rng):
+        region = CodeRegion("r", rng, num_blocks=32, code_base=0x8000,
+                            code_bytes=8192)
+        assert len(set(region.block_pcs.tolist())) == 32
+        assert region.block_pcs.min() >= 0x8000
+        assert region.block_pcs.max() < 0x8000 + 8192
+
+    def test_weights_sum_to_one(self, rng):
+        region = CodeRegion("r", rng, num_blocks=16)
+        assert region.block_weights.sum() == pytest.approx(1.0)
+
+    def test_blocks_property(self, tiny_region):
+        blocks = tiny_region.blocks
+        assert len(blocks) == 8
+        assert sum(b.weight for b in blocks) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"num_blocks": 1},
+        {"weight_concentration": 0.0},
+        {"cpi_sigma": -0.1},
+        {"pattern": "bogus"},
+        {"hot_fraction": 1.0},
+        {"code_bytes": 4},
+    ])
+    def test_invalid_construction(self, rng, kwargs):
+        params = dict(num_blocks=8, code_bytes=4096)
+        params.update(kwargs)
+        with pytest.raises(ConfigurationError):
+            CodeRegion("bad", rng, **params)
+
+    def test_mismatched_submode_length_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            CodeRegion(
+                "bad", rng, num_blocks=8,
+                submodes=[SubMode(weight_multipliers=(1.0,) * 4)],
+            )
+
+
+class TestSampling:
+    def test_interval_sums_exactly(self, tiny_region, rng):
+        pcs, counts, _ = tiny_region.sample_interval_records(
+            rng, 10_000_000
+        )
+        assert counts.sum() == 10_000_000
+        assert pcs.shape == counts.shape
+
+    def test_pcs_are_region_blocks(self, tiny_region, rng):
+        pcs, _, _ = tiny_region.sample_interval_records(rng, 1_000_000)
+        assert set(pcs.tolist()) <= set(tiny_region.block_pcs.tolist())
+
+    def test_submode_index_returned(self, tiny_region, rng):
+        _, _, submode = tiny_region.sample_interval_records(rng, 1000)
+        assert submode == 0  # single default sub-mode
+
+    def test_explicit_submode_respected(self, rng):
+        region = CodeRegion("r", rng, num_blocks=8)
+        region.set_submodes(
+            make_submodes(rng, 8, cpi_scales=(1.0, 2.0), intensity=0.5)
+        )
+        _, _, submode = region.sample_interval_records(
+            rng, 1000, submode_index=1
+        )
+        assert submode == 1
+
+    def test_invalid_interval_length(self, tiny_region, rng):
+        with pytest.raises(ConfigurationError):
+            tiny_region.sample_interval_records(rng, 0)
+
+    def test_invalid_draws(self, tiny_region, rng):
+        with pytest.raises(ConfigurationError):
+            tiny_region.sample_interval_records(rng, 1000, draws=0)
+
+    def test_more_draws_less_jitter(self, rng):
+        region = CodeRegion("r", rng, num_blocks=16)
+
+        def spread(draws):
+            samples = []
+            for _ in range(20):
+                pcs, counts, _ = region.sample_interval_records(
+                    rng, 1_000_000, draws=draws, submode_index=0
+                )
+                full = dict(zip(pcs.tolist(), counts.tolist()))
+                samples.append(
+                    [full.get(int(pc), 0) for pc in region.block_pcs]
+                )
+            return np.array(samples, dtype=float).std(axis=0).sum()
+
+        assert spread(8000) < spread(200)
+
+
+class TestSubmodes:
+    def test_make_submodes_shapes(self, rng):
+        modes = make_submodes(rng, 10, cpi_scales=(1.0, 1.5), intensity=0.3)
+        assert len(modes) == 2
+        assert all(len(m.weight_multipliers) == 10 for m in modes)
+        assert modes[1].cpi_scale == 1.5
+
+    def test_make_submodes_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            make_submodes(rng, 10, cpi_scales=())
+        with pytest.raises(ConfigurationError):
+            make_submodes(rng, 10, cpi_scales=(1.0,), intensity=1.0)
+
+    def test_set_submodes_probability_override(self, rng):
+        region = CodeRegion("r", rng, num_blocks=8)
+        region.set_submodes(
+            make_submodes(rng, 8, cpi_scales=(1.0, 2.0)),
+            probabilities=[1.0, 0.0],
+        )
+        picks = {region.pick_submode(rng) for _ in range(50)}
+        assert picks == {0}
+
+    def test_set_submodes_validation(self, rng):
+        region = CodeRegion("r", rng, num_blocks=8)
+        with pytest.raises(ConfigurationError):
+            region.set_submodes([])
+        with pytest.raises(ConfigurationError):
+            region.set_submodes(
+                make_submodes(rng, 8, cpi_scales=(1.0,)),
+                probabilities=[0.5, 0.5],
+            )
+
+    def test_submode_weights_normalized(self, rng):
+        region = CodeRegion("r", rng, num_blocks=8)
+        region.set_submodes(
+            make_submodes(rng, 8, cpi_scales=(1.0, 2.0), intensity=0.5)
+        )
+        for index in range(2):
+            assert region.submode_weights(index).sum() == pytest.approx(1.0)
+
+
+class TestSibling:
+    def test_sibling_shares_pcs_differs_in_weights(self, rng):
+        base = CodeRegion("base", rng, num_blocks=16)
+        sibling = CodeRegion.sibling(base, rng, "sib", weight_jitter=0.5)
+        assert np.array_equal(base.block_pcs, sibling.block_pcs)
+        assert not np.allclose(base.block_weights, sibling.block_weights)
+        assert sibling.block_weights.sum() == pytest.approx(1.0)
+
+    def test_cpi_scale_hint_changes_base_ipc(self, rng):
+        base = CodeRegion("base", rng, num_blocks=16, base_ipc=2.0)
+        sibling = CodeRegion.sibling(
+            base, rng, "sib", cpi_scale_hint=2.0
+        )
+        assert sibling.base_ipc == pytest.approx(1.0)
+
+    def test_overrides_forwarded(self, rng):
+        base = CodeRegion("base", rng, num_blocks=16)
+        sibling = CodeRegion.sibling(
+            base, rng, "sib", working_set_bytes=1 << 20
+        )
+        assert sibling.working_set_bytes == 1 << 20
+
+    def test_negative_jitter_rejected(self, rng):
+        base = CodeRegion("base", rng, num_blocks=16)
+        with pytest.raises(ConfigurationError):
+            CodeRegion.sibling(base, rng, "sib", weight_jitter=-1.0)
+
+
+class TestSampledStream:
+    def test_stream_counts(self, tiny_region, rng):
+        stream = tiny_region.sampled_stream(rng, events=512)
+        assert stream.num_data_refs == 512
+        assert stream.num_branches == 512
+        assert stream.num_fetches > 0
+
+    def test_invalid_events(self, tiny_region, rng):
+        with pytest.raises(ConfigurationError):
+            tiny_region.sampled_stream(rng, events=0)
+
+    def test_hot_fraction_shrinks_data_footprint(self, rng):
+        hot = CodeRegion("hot", rng, num_blocks=8, hot_fraction=0.95,
+                         working_set_bytes=1 << 20, pattern="random")
+        cold = CodeRegion("cold", rng, num_blocks=8, hot_fraction=0.0,
+                          working_set_bytes=1 << 20, pattern="random")
+        hot_stream = hot.sampled_stream(rng, events=2000)
+        cold_stream = cold.sampled_stream(rng, events=2000)
+        hot_unique = len(np.unique(hot_stream.data_addresses // 4096))
+        cold_unique = len(np.unique(cold_stream.data_addresses // 4096))
+        assert hot_unique < cold_unique

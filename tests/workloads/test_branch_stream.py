@@ -1,0 +1,113 @@
+"""Unit tests for the synthetic branch outcome generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads import branch_stream
+
+
+class TestLoopBranch:
+    def test_taken_rate_matches_trip_count(self, rng):
+        outcomes = branch_stream.loop_branch_outcomes(rng, 1600, trip_count=16)
+        assert outcomes.mean() == pytest.approx(15 / 16, abs=0.01)
+
+    def test_periodic_structure(self, rng):
+        outcomes = branch_stream.loop_branch_outcomes(rng, 64, trip_count=8)
+        not_taken = np.nonzero(~outcomes)[0]
+        assert np.all(np.diff(not_taken) == 8)
+
+    def test_trip_count_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            branch_stream.loop_branch_outcomes(rng, 10, trip_count=1)
+
+    def test_negative_count_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            branch_stream.loop_branch_outcomes(rng, -1, trip_count=4)
+
+
+class TestBiased:
+    def test_bias_respected(self, rng):
+        outcomes = branch_stream.biased_outcomes(rng, 10_000, 0.7)
+        assert outcomes.mean() == pytest.approx(0.7, abs=0.03)
+
+    @pytest.mark.parametrize("p", [-0.1, 1.1])
+    def test_probability_range(self, rng, p):
+        with pytest.raises(ConfigurationError):
+            branch_stream.biased_outcomes(rng, 10, p)
+
+    def test_extremes(self, rng):
+        assert branch_stream.biased_outcomes(rng, 100, 1.0).all()
+        assert not branch_stream.biased_outcomes(rng, 100, 0.0).any()
+
+
+class TestRegionSample:
+    def setup_method(self):
+        self.pcs = np.arange(0x400, 0x400 + 40 * 4, 4, dtype=np.int64)
+        self.weights = np.ones(40)
+
+    def test_shapes(self, rng):
+        pcs, taken = branch_stream.region_branch_sample(
+            rng, self.pcs, self.weights, count=500,
+            loop_fraction=0.5, data_bias=0.6,
+        )
+        assert pcs.shape == (500,)
+        assert taken.shape == (500,)
+
+    def test_pcs_drawn_from_population(self, rng):
+        pcs, _ = branch_stream.region_branch_sample(
+            rng, self.pcs, self.weights, count=500,
+            loop_fraction=0.5, data_bias=0.6,
+        )
+        assert set(pcs.tolist()) <= set(self.pcs.tolist())
+
+    def test_weights_shift_distribution(self, rng):
+        skewed = np.zeros(40)
+        skewed[0] = 1.0
+        pcs, _ = branch_stream.region_branch_sample(
+            rng, self.pcs, skewed, count=200,
+            loop_fraction=0.5, data_bias=0.6,
+        )
+        assert np.all(pcs == self.pcs[0])
+
+    def test_loop_fraction_one_highly_taken(self, rng):
+        _, taken = branch_stream.region_branch_sample(
+            rng, self.pcs, self.weights, count=2000,
+            loop_fraction=1.0, data_bias=0.0, trip_count=16,
+        )
+        assert taken.mean() > 0.9
+
+    def test_loop_fraction_zero_follows_bias(self, rng):
+        _, taken = branch_stream.region_branch_sample(
+            rng, self.pcs, self.weights, count=5000,
+            loop_fraction=0.0, data_bias=0.3,
+        )
+        assert taken.mean() == pytest.approx(0.3, abs=0.05)
+
+    def test_empty_population_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            branch_stream.region_branch_sample(
+                rng, np.array([], dtype=np.int64), np.array([]),
+                count=10, loop_fraction=0.5, data_bias=0.5,
+            )
+
+    def test_mismatched_arrays_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            branch_stream.region_branch_sample(
+                rng, self.pcs, self.weights[:-1], count=10,
+                loop_fraction=0.5, data_bias=0.5,
+            )
+
+    def test_zero_weights_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            branch_stream.region_branch_sample(
+                rng, self.pcs, np.zeros(40), count=10,
+                loop_fraction=0.5, data_bias=0.5,
+            )
+
+    def test_loop_fraction_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            branch_stream.region_branch_sample(
+                rng, self.pcs, self.weights, count=10,
+                loop_fraction=1.5, data_bias=0.5,
+            )

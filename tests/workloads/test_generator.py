@@ -1,0 +1,132 @@
+"""Unit tests for the workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.basic_block import CodeRegion
+from repro.workloads.generator import TransitionConfig, WorkloadGenerator
+from repro.workloads.phase_script import PhaseScript, Segment
+
+
+def make_generator(rng_seed=0, segments=None, transitions=None,
+                   interval_instructions=1_000_000):
+    rng = np.random.default_rng(42)
+    regions = [
+        CodeRegion("a", rng, num_blocks=8, code_base=0x100000,
+                   working_set_bytes=8 * 1024),
+        CodeRegion("b", rng, num_blocks=8, code_base=0x200000,
+                   working_set_bytes=512 * 1024, pattern="random",
+                   base_ipc=1.2),
+    ]
+    script = PhaseScript(segments or [Segment(0, 10), Segment(1, 10),
+                                      Segment(0, 10)])
+    return WorkloadGenerator(
+        "test", regions, script, seed=rng_seed,
+        interval_instructions=interval_instructions,
+        calibration_events=1024,
+        transitions=transitions or TransitionConfig(probability=1.0),
+    )
+
+
+class TestTransitionConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"min_length": 0},
+        {"min_length": 3, "max_length": 2},
+        {"unique_fraction": 1.0},
+        {"unique_blocks": 0},
+        {"cpi_scale_low": 0.0},
+        {"cpi_scale_low": 2.0, "cpi_scale_high": 1.0},
+        {"cpi_sigma": -0.1},
+        {"probability": 1.5},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TransitionConfig(**kwargs)
+
+
+class TestGeneratorConstruction:
+    def test_script_region_bounds_checked(self):
+        rng = np.random.default_rng(0)
+        region = CodeRegion("only", rng, num_blocks=8)
+        with pytest.raises(ConfigurationError):
+            WorkloadGenerator(
+                "bad", [region], PhaseScript([Segment(1, 5)])
+            )
+
+    def test_empty_regions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadGenerator("bad", [], PhaseScript([Segment(0, 5)]))
+
+
+class TestGeneration:
+    def test_stable_intervals_carry_region_labels(self):
+        trace = make_generator().generate()
+        stable = [iv for iv in trace if not iv.is_transition]
+        assert {iv.region for iv in stable} == {0, 1}
+
+    def test_transitions_inserted_between_regions(self):
+        trace = make_generator().generate()
+        transitions = [iv for iv in trace if iv.is_transition]
+        assert transitions, "expected transition intervals"
+        assert all(iv.region == -1 for iv in transitions)
+
+    def test_no_transitions_when_probability_zero(self):
+        generator = make_generator(
+            transitions=TransitionConfig(probability=0.0)
+        )
+        trace = generator.generate()
+        assert not any(iv.is_transition for iv in trace)
+
+    def test_interval_lengths_exact(self):
+        trace = make_generator(interval_instructions=500_000).generate()
+        for interval in trace:
+            assert interval.instructions == 500_000
+
+    def test_stable_count_matches_script(self):
+        trace = make_generator().generate()
+        stable = sum(1 for iv in trace if not iv.is_transition)
+        assert stable == 30
+
+    def test_cpi_reflects_region_difference(self):
+        generator = make_generator()
+        trace = generator.generate()
+        cals = generator.calibrations()
+        cpis_a = [iv.cpi for iv in trace if iv.region == 0]
+        cpis_b = [iv.cpi for iv in trace if iv.region == 1]
+        assert abs(np.mean(cpis_a) - cals[0].cpi) / cals[0].cpi < 0.3
+        assert abs(np.mean(cpis_b) - cals[1].cpi) / cals[1].cpi < 0.3
+
+    def test_transition_records_include_unique_pcs(self):
+        generator = make_generator()
+        trace = generator.generate()
+        region_pcs = set()
+        for region in generator.regions:
+            region_pcs |= set(region.block_pcs.tolist())
+        for interval in trace:
+            if interval.is_transition:
+                unique = set(interval.branch_pcs.tolist()) - region_pcs
+                assert unique, "transition must contain one-off blocks"
+
+    def test_determinism(self):
+        a = make_generator(rng_seed=7).generate()
+        b = make_generator(rng_seed=7).generate()
+        assert len(a) == len(b)
+        assert np.allclose(a.cpis, b.cpis)
+        for iv_a, iv_b in zip(a, b):
+            assert np.array_equal(iv_a.branch_pcs, iv_b.branch_pcs)
+
+    def test_seed_changes_trace(self):
+        a = make_generator(rng_seed=1).generate()
+        b = make_generator(rng_seed=2).generate()
+        assert not np.allclose(a.cpis[: len(b)], b.cpis[: len(a)])
+
+    def test_calibrations_cached(self):
+        generator = make_generator()
+        assert generator.calibrations() is generator.calibrations()
+
+    def test_metadata(self):
+        generator = make_generator()
+        trace = generator.generate()
+        assert trace.metadata["num_regions"] == 2
+        assert len(trace.metadata["region_cpis"]) == 2

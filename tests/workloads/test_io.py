@@ -1,0 +1,87 @@
+"""Tests for trace serialization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.workloads.io import load_trace, save_trace
+from repro.workloads.trace import Interval, IntervalTrace
+
+
+def small_synthetic_trace():
+    intervals = [
+        Interval(
+            branch_pcs=np.array([4, 8, 12]),
+            instr_counts=np.array([10, 20, 70]),
+            cpi=1.5,
+            region=0,
+        ),
+        Interval(
+            branch_pcs=np.array([100]),
+            instr_counts=np.array([100]),
+            cpi=2.5,
+            region=-1,
+            is_transition=True,
+        ),
+    ]
+    return IntervalTrace(
+        "synthetic", intervals, interval_instructions=100,
+        metadata={"seed": 7, "region_cpis": [1.5, 2.5]},
+    )
+
+
+class TestRoundTrip:
+    def test_exact_round_trip(self, tmp_path):
+        trace = small_synthetic_trace()
+        path = save_trace(trace, tmp_path / "trace")
+        loaded = load_trace(path)
+        assert loaded.name == trace.name
+        assert loaded.interval_instructions == trace.interval_instructions
+        assert len(loaded) == len(trace)
+        for a, b in zip(trace, loaded):
+            assert np.array_equal(a.branch_pcs, b.branch_pcs)
+            assert np.array_equal(a.instr_counts, b.instr_counts)
+            assert a.cpi == b.cpi
+            assert a.region == b.region
+            assert a.is_transition == b.is_transition
+
+    def test_metadata_preserved(self, tmp_path):
+        path = save_trace(small_synthetic_trace(), tmp_path / "t")
+        loaded = load_trace(path)
+        assert loaded.metadata["seed"] == 7
+
+    def test_npz_suffix_appended(self, tmp_path):
+        path = save_trace(small_synthetic_trace(), tmp_path / "bare")
+        assert path.suffix == ".npz"
+
+    def test_real_benchmark_round_trip(self, tmp_path, small_trace):
+        path = save_trace(small_trace, tmp_path / "bench")
+        loaded = load_trace(path)
+        assert np.allclose(loaded.cpis, small_trace.cpis)
+        assert np.array_equal(loaded.regions, small_trace.regions)
+
+    def test_classification_identical_after_reload(self, tmp_path,
+                                                   small_trace):
+        from repro.core import ClassifierConfig, PhaseClassifier
+
+        path = save_trace(small_trace, tmp_path / "bench")
+        loaded = load_trace(path)
+        a = PhaseClassifier(
+            ClassifierConfig.paper_default()
+        ).classify_trace(small_trace)
+        b = PhaseClassifier(
+            ClassifierConfig.paper_default()
+        ).classify_trace(loaded)
+        assert np.array_equal(a.phase_ids, b.phase_ids)
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError):
+            load_trace(tmp_path / "absent.npz")
+
+    def test_wrong_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, stuff=np.arange(3))
+        with pytest.raises(TraceError):
+            load_trace(path)

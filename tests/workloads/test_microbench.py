@@ -1,0 +1,100 @@
+"""Characterization tests: microbenchmarks vs the machine model.
+
+Each microbenchmark stresses exactly one structure; its calibration
+against the Table 1 machine must show the expected signature. These
+are end-to-end checks of the whole substrate (address streams, branch
+streams, caches, predictors, TLB, core model) with known answers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.simulator import Machine
+from repro.workloads.microbench import (
+    ALL_MICROBENCHMARKS,
+    branchy,
+    icache_heavy,
+    pointer_chase,
+    streaming,
+)
+
+
+@pytest.fixture(scope="module")
+def calibrations():
+    machine = Machine()
+    rng = np.random.default_rng(11)
+    return {
+        name: machine.calibrate(
+            factory(np.random.default_rng(17)).sampled_stream(
+                rng, events=4096
+            )
+        )
+        for name, factory in ALL_MICROBENCHMARKS.items()
+    }
+
+
+class TestCharacterization:
+    def test_stream_is_fastest(self, calibrations):
+        stream_cpi = calibrations["stream"].cpi
+        assert all(
+            stream_cpi <= cal.cpi
+            for name, cal in calibrations.items()
+            if name != "stream"
+        )
+
+    def test_chase_is_slowest(self, calibrations):
+        chase_cpi = calibrations["chase"].cpi
+        assert all(
+            chase_cpi >= cal.cpi
+            for name, cal in calibrations.items()
+            if name != "chase"
+        )
+
+    def test_chase_dominated_by_memory(self, calibrations):
+        chase = calibrations["chase"]
+        assert chase.dl1_miss_ratio > 0.3
+        assert chase.l2_miss_ratio > 0.3
+
+    def test_branchy_worst_predictor_accuracy(self, calibrations):
+        branchy_ratio = calibrations["branchy"].branch_mispredict_ratio
+        assert branchy_ratio > 0.2
+        assert all(
+            branchy_ratio >= cal.branch_mispredict_ratio
+            for name, cal in calibrations.items()
+            if name != "branchy"
+        )
+
+    def test_icache_heavy_worst_fetch(self, calibrations):
+        icache_ratio = calibrations["icache"].il1_miss_ratio
+        assert all(
+            icache_ratio >= cal.il1_miss_ratio
+            for name, cal in calibrations.items()
+            if name != "icache"
+        )
+
+    def test_stream_near_ideal(self, calibrations):
+        stream = calibrations["stream"]
+        assert stream.dl1_miss_ratio < 0.05
+        assert stream.cpi < 1.0
+
+
+class TestAsWorkloads:
+    def test_microbenchmarks_classify_distinctly(self):
+        """A program alternating between two microbenchmarks must
+        classify into (at least) two phases."""
+        from repro.core import ClassifierConfig, PhaseClassifier
+        from repro.workloads import PhaseScript, Segment, WorkloadGenerator
+
+        rng = np.random.default_rng(5)
+        regions = [streaming(rng), pointer_chase(rng)]
+        script = PhaseScript(
+            [Segment(0, 15), Segment(1, 15), Segment(0, 15)]
+        )
+        trace = WorkloadGenerator(
+            "ubench-mix", regions, script, seed=2,
+            calibration_events=1024,
+        ).generate()
+        run = PhaseClassifier(
+            ClassifierConfig(min_count_threshold=0)
+        ).classify_trace(trace)
+        assert run.num_phases >= 2

@@ -1,0 +1,95 @@
+"""Per-benchmark structural assertions for the SPEC 2000 models.
+
+Each synthetic benchmark's documented character (DESIGN.md §2, the
+spec2000 module docstring) is pinned down so refactors cannot silently
+change a workload's personality.
+"""
+
+import numpy as np
+import pytest
+
+from repro.workloads.phase_script import PhaseScript
+from repro.workloads.spec2000 import BENCHMARK_NAMES, build_benchmark
+
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def generators():
+    return {name: build_benchmark(name, scale=SCALE)
+            for name in BENCHMARK_NAMES}
+
+
+class TestRegionCounts:
+    @pytest.mark.parametrize("name,expected", [
+        ("ammp", 3), ("bzip2/g", 5), ("bzip2/p", 5), ("galgel", 4),
+        ("gcc/1", 12), ("gcc/s", 14), ("gzip/g", 3), ("gzip/p", 4),
+        ("mcf", 3), ("perl/d", 4), ("perl/s", 6),
+    ])
+    def test_region_count(self, generators, name, expected):
+        assert len(generators[name].regions) == expected
+
+
+class TestPersonalities:
+    def test_mcf_is_pointer_bound(self, generators):
+        patterns = [r.pattern for r in generators["mcf"].regions]
+        assert patterns.count("pointer") >= 2
+        assert max(
+            r.working_set_bytes for r in generators["mcf"].regions
+        ) >= 2 << 20
+
+    def test_gcc_has_large_code_footprint(self, generators):
+        for name in ("gcc/1", "gcc/s"):
+            assert all(
+                r.code_bytes >= 64 * 1024
+                for r in generators[name].regions
+            )
+
+    def test_submode_benchmarks(self, generators):
+        """mcf and perl/s carry CPI sub-modes (the Fig. 6 mechanism);
+        the stable benchmarks do not."""
+        assert len(generators["mcf"].regions[0].submodes) == 2
+        perl_s_modes = [
+            len(r.submodes) for r in generators["perl/s"].regions
+        ]
+        assert perl_s_modes.count(2) == 2
+        for name in ("ammp", "gzip/g", "perl/d"):
+            assert all(
+                len(r.submodes) == 1
+                for r in generators[name].regions
+            )
+
+    def test_galgel_siblings_share_blocks(self, generators):
+        regions = generators["galgel"].regions
+        assert np.array_equal(regions[0].block_pcs, regions[1].block_pcs)
+        assert np.array_equal(regions[0].block_pcs, regions[2].block_pcs)
+        assert not np.array_equal(
+            regions[0].block_pcs, regions[3].block_pcs
+        )
+
+
+class TestScripts:
+    def test_stable_benchmarks_have_few_segments(self, generators):
+        # At scale, ammp/gzip-g/perl-d stay in single-digit segments.
+        for name in ("ammp", "gzip/g", "perl/d"):
+            script: PhaseScript = generators[name].script
+            assert script.num_segments <= max(
+                6, script.total_intervals // 40
+            )
+
+    def test_gcc_benchmarks_have_many_segments(self, generators):
+        for name in ("gcc/1", "gcc/s"):
+            script = generators[name].script
+            # Average segment length in the irregular range.
+            assert script.total_intervals / script.num_segments < 12
+
+    def test_transition_configs_differ(self, generators):
+        # gcc transitions more (higher unique fraction) than ammp.
+        gcc = generators["gcc/s"].transitions
+        ammp = generators["ammp"].transitions
+        assert gcc.unique_fraction >= ammp.unique_fraction
+
+    def test_all_scripts_reference_valid_regions(self, generators):
+        for name, generator in generators.items():
+            used = generator.script.regions_used()
+            assert max(used) < len(generator.regions), name

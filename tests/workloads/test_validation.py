@@ -1,0 +1,91 @@
+"""Tests for the workload separability diagnostic."""
+
+import numpy as np
+import pytest
+
+from repro.core import ClassifierConfig
+from repro.errors import ConfigurationError
+from repro.workloads.basic_block import CodeRegion
+from repro.workloads.spec2000 import build_benchmark
+from repro.workloads.validation import check_separability
+
+
+def make_regions(rng, n=3, disjoint=True):
+    regions = []
+    for index in range(n):
+        base = 0x100000 * (index + 1) if disjoint else 0x100000
+        regions.append(
+            CodeRegion(f"r{index}", rng, num_blocks=24, code_base=base)
+        )
+    return regions
+
+
+class TestCheckSeparability:
+    def test_disjoint_regions_classifiable(self, rng):
+        report = check_separability(make_regions(rng))
+        assert report.classifiable
+        assert report.min_separation > report.threshold
+        assert report.max_jitter < report.threshold
+
+    def test_within_jitter_small(self, rng):
+        report = check_separability(make_regions(rng, n=1))
+        assert report.max_jitter < 0.1
+        assert report.cross_separation == {}
+        assert report.min_separation == float("inf")
+
+    def test_sibling_regions_flagged_ambiguous(self, rng):
+        base = CodeRegion("base", rng, num_blocks=32)
+        # A barely-jittered sibling sits inside the guard band.
+        sibling = CodeRegion.sibling(base, rng, "sib", weight_jitter=0.15)
+        report = check_separability([base, sibling])
+        assert (0, 1) in report.ambiguous_pairs() or not report.classifiable
+
+    def test_summary_text(self, rng):
+        report = check_separability(make_regions(rng, n=2))
+        text = report.summary()
+        assert "classifiable" in text
+        assert "jitter" in text
+
+    def test_validation_errors(self, rng):
+        with pytest.raises(ConfigurationError):
+            check_separability([])
+        with pytest.raises(ConfigurationError):
+            check_separability(make_regions(rng), samples_per_region=1)
+
+    def test_threshold_follows_config(self, rng):
+        config = ClassifierConfig(similarity_threshold=0.125)
+        report = check_separability(make_regions(rng), config=config)
+        assert report.threshold == 0.125
+
+    def test_deterministic(self, rng):
+        regions = make_regions(rng)
+        a = check_separability(regions, seed=5)
+        b = check_separability(regions, seed=5)
+        assert a.within_jitter == b.within_jitter
+        assert a.cross_separation == b.cross_separation
+
+
+class TestShippedModels:
+    @pytest.mark.parametrize("name", ["ammp", "bzip2/g", "mcf", "gcc/1"])
+    def test_shipped_benchmarks_classifiable(self, name):
+        generator = build_benchmark(name, scale=0.05)
+        report = check_separability(
+            generator.regions,
+            config=ClassifierConfig(similarity_threshold=0.25),
+            samples_per_region=6,
+        )
+        # Within-region jitter must sit inside the threshold for every
+        # shipped model (separation may be deliberately ambiguous for
+        # sub-moded regions, so only jitter is asserted universally).
+        assert report.max_jitter < 0.25
+
+    def test_galgel_deliberately_ambiguous(self):
+        generator = build_benchmark("galgel", scale=0.05)
+        report = check_separability(
+            generator.regions,
+            config=ClassifierConfig(similarity_threshold=0.25),
+            samples_per_region=6,
+        )
+        # The sibling solver variants are the designed-in hard case:
+        # their separations hug the threshold region (within 3x).
+        assert report.min_separation < 0.75
