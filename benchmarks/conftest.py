@@ -15,7 +15,13 @@ from __future__ import annotations
 import pytest
 
 from repro.core import ClassifierConfig
-from repro.harness.cache import cached_classified, cached_trace
+from repro.harness.cache import (
+    cached_classified,
+    cached_trace,
+    clear_cache,
+    set_cache_telemetry,
+)
+from repro.telemetry import Telemetry
 from repro.workloads import BENCHMARK_NAMES
 
 
@@ -42,3 +48,27 @@ def warm_caches(bench_scale):
         cached_trace(name, bench_scale)
         cached_classified(name, config, bench_scale)
     return bench_scale
+
+
+@pytest.fixture
+def isolated_caches():
+    """Cold harness caches around one test, with hit/miss telemetry.
+
+    The harness caches are unbounded and per-process, so back-to-back
+    benchmarks varying classifier configs would otherwise contaminate
+    each other's timings with earlier runs' memoized results. This
+    fixture clears the caches on entry and exit and installs a
+    telemetry hub so the test can assert on the
+    ``repro_harness_*_cache_{hits,misses}_total`` counters.
+
+    Mutually exclusive with ``warm_caches`` by design: this one is for
+    benchmarks that need a deterministic cold start.
+    """
+    clear_cache()
+    telemetry = Telemetry()
+    set_cache_telemetry(telemetry)
+    try:
+        yield telemetry
+    finally:
+        set_cache_telemetry(None)
+        clear_cache()

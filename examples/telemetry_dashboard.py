@@ -1,0 +1,152 @@
+"""Replay a benchmark through an instrumented PhaseTracker and render
+an ASCII telemetry dashboard.
+
+The tracker is attached to a :class:`repro.telemetry.Telemetry` hub
+with an in-memory event sink; after the replay the script prints the
+monitoring view a deployed system would scrape: tracker counters,
+signature-table health, next-phase predictor accuracy, per-stage span
+timings, the branch-ingest latency histogram, and the tail of the
+structured event stream.
+
+Run:  python examples/telemetry_dashboard.py
+"""
+
+import io
+
+from repro.core import ClassifierConfig, PhaseTracker
+from repro.telemetry import EventLog, Telemetry, read_events
+from repro.workloads import benchmark
+
+BENCHMARK = "bzip2/g"
+SCALE = 0.15
+BAR_WIDTH = 40
+
+
+def replay(telemetry: Telemetry):
+    """Drive the tracker branch-by-branch over one benchmark trace."""
+    trace = benchmark(BENCHMARK, scale=SCALE)
+    tracker = PhaseTracker(
+        ClassifierConfig.paper_default(),
+        interval_instructions=trace.interval_instructions,
+        telemetry=telemetry,
+    )
+    for interval in trace:
+        for pc, count in zip(interval.branch_pcs, interval.instr_counts):
+            tracker.observe_branch(int(pc), int(count))
+        tracker.complete_interval(interval.cpi)
+    return tracker
+
+
+def rule(title: str) -> str:
+    return f"-- {title} " + "-" * max(0, 68 - len(title))
+
+
+def counter_table(metrics, names) -> str:
+    rows = []
+    for name in names:
+        metric = metrics.get(name)
+        if metric is not None:
+            label = name.replace("repro_", "").replace("_total", "")
+            rows.append(f"  {label:44s} {int(metric.value):>12,d}")
+    return "\n".join(rows)
+
+
+def histogram_bars(histogram) -> str:
+    """Log-bucket counts as horizontal ASCII bars."""
+    populated = [
+        (bound, count)
+        for bound, count in zip(
+            list(histogram.bounds) + [float("inf")],
+            histogram.bucket_counts(),
+        )
+        if count
+    ]
+    if not populated:
+        return "  (no observations)"
+    peak = max(count for _, count in populated)
+    lines = []
+    for bound, count in populated:
+        label = "+Inf" if bound == float("inf") else f"{bound:.2e}"
+        bar = "#" * max(1, round(BAR_WIDTH * count / peak))
+        lines.append(f"  <= {label:>9s} s  {bar} {count}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    stream = io.StringIO()
+    telemetry = Telemetry(events=EventLog(stream=stream))
+    tracker = replay(telemetry)
+    metrics = telemetry.metrics
+
+    print(f"telemetry dashboard: {BENCHMARK} at scale {SCALE}, "
+          f"{tracker.intervals_observed} intervals\n")
+
+    print(rule("tracker counters"))
+    print(counter_table(metrics, [
+        "repro_tracker_branches_total",
+        "repro_tracker_instructions_total",
+        "repro_tracker_intervals_total",
+        "repro_tracker_transition_intervals_total",
+        "repro_tracker_phase_changes_total",
+        "repro_tracker_new_phases_total",
+    ]))
+
+    print(rule("signature table"))
+    print(counter_table(metrics, [
+        "repro_signature_table_hits_total",
+        "repro_signature_table_misses_total",
+        "repro_signature_table_evictions_total",
+        "repro_classifier_threshold_halvings_total",
+    ]))
+    occupancy = metrics.get("repro_signature_table_occupancy")
+    print(f"  {'signature_table_occupancy':44s} {int(occupancy.value):>12,d}")
+
+    print(rule("next-phase predictor"))
+    total = metrics.get("repro_next_phase_predictions_total").value
+    correct = metrics.get("repro_next_phase_correct_total").value
+    confident = metrics.get("repro_next_phase_confident_total").value
+    confident_ok = metrics.get(
+        "repro_next_phase_confident_correct_total"
+    ).value
+    if total:
+        print(f"  overall accuracy   {correct / total:6.1%} "
+              f"({int(correct)}/{int(total)})")
+    if confident:
+        print(f"  confident accuracy {confident_ok / confident:6.1%} "
+              f"at {confident / total:6.1%} coverage")
+
+    print(rule("per-stage span timings"))
+    for path, stats in sorted(telemetry.span_timings().items()):
+        print(f"  {path:20s} n={stats.count:5d}  "
+              f"mean {stats.mean_seconds * 1e6:9.1f} us  "
+              f"max {stats.max_seconds * 1e6:9.1f} us")
+
+    print(rule("branch ingest latency (per-interval mean)"))
+    print(histogram_bars(metrics.get("repro_branch_ingest_seconds")))
+
+    print(rule("event stream tail"))
+    records = read_events(io.StringIO(stream.getvalue()))
+    interesting = [
+        r for r in records
+        if r["event"] != "interval" or r.get("phase_changed")
+    ]
+    for record in interesting[-8:]:
+        if record["event"] == "interval":
+            print(f"  seq {record['seq']:5d}  interval "
+                  f"{record['interval']:4d} -> phase "
+                  f"{record['phase_id']}"
+                  f"{' (transition)' if record['is_transition'] else ''}"
+                  f"  occupancy {record['table_occupancy']}")
+        else:
+            print(f"  seq {record['seq']:5d}  {record['event']}")
+    print(f"\n{len(records)} events emitted; metrics snapshot below "
+          "is what --metrics would write")
+
+    print(rule("prometheus snapshot (excerpt)"))
+    for line in telemetry.render_metrics().splitlines():
+        if line.startswith("repro_tracker_") and "bucket" not in line:
+            print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

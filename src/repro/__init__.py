@@ -15,6 +15,8 @@ every substrate the paper depends on:
 - :mod:`repro.analysis` — CoV of CPI, phase-run statistics, prediction
   metrics.
 - :mod:`repro.harness` — one experiment per paper figure.
+- :mod:`repro.telemetry` — metrics, structured events and tracing for
+  the tracker and harness.
 
 Quickstart
 ----------
@@ -38,9 +40,11 @@ from repro.errors import (
     PredictionError,
     ReproError,
     SimulationError,
+    TelemetryError,
     TraceError,
 )
 from repro.simulator import Machine, MachineConfig
+from repro.telemetry import Telemetry
 from repro.workloads import BENCHMARK_NAMES, IntervalTrace, benchmark
 
 __version__ = "1.0.0"
@@ -60,6 +64,8 @@ __all__ = [
     "ReproError",
     "SimulationError",
     "TRANSITION_PHASE_ID",
+    "Telemetry",
+    "TelemetryError",
     "TraceError",
     "benchmark",
     "weighted_cov",

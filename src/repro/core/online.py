@@ -20,12 +20,20 @@ Typical use::
 The caller supplies the interval's CPI at the boundary (a hardware
 implementation reads cycle/instruction counters); everything else is
 internal.
+
+Pass ``telemetry=`` a :class:`repro.telemetry.Telemetry` hub to make
+the tracker observable: per-interval stage spans (signature formation,
+table matching, prediction update), signature-table hit/miss/eviction
+counters, predictor accuracy counters, a per-branch ingest-latency
+histogram, and one structured ``interval`` event per boundary. The
+bare (``telemetry=None``) hot path is unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, List, Optional
+import logging
+from dataclasses import asdict, dataclass
+from typing import Callable, List, Optional, TYPE_CHECKING
 
 from repro.core.classifier import PhaseClassifier
 from repro.core.config import ClassifierConfig, TRANSITION_PHASE_ID
@@ -39,6 +47,11 @@ from repro.prediction.composite import (
 from repro.prediction.length import PhaseLengthPredictor
 from repro.prediction.rle import RLEChangePredictor
 from repro.workloads.trace import DEFAULT_INTERVAL_INSTRUCTIONS
+
+if TYPE_CHECKING:  # pragma: no cover - import-time typing only
+    from repro.telemetry import Telemetry
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -74,6 +87,11 @@ class PhaseTracker:
     change_predictor:
         Phase-change predictor backing next-phase prediction; defaults
         to an RLE-2 table. Pass ``None`` for pure last-value.
+    telemetry:
+        Optional :class:`repro.telemetry.Telemetry` hub. When given,
+        the tracker records counters, stage spans and per-interval
+        events into it; when ``None`` (default) no telemetry work
+        happens on either the per-branch or the per-interval path.
     """
 
     def __init__(
@@ -81,6 +99,7 @@ class PhaseTracker:
         config: Optional[ClassifierConfig] = None,
         interval_instructions: int = DEFAULT_INTERVAL_INSTRUCTIONS,
         change_predictor: "RLEChangePredictor | None | str" = "default",
+        telemetry: "Optional[Telemetry]" = None,
     ) -> None:
         if interval_instructions <= 0:
             raise PredictionError(
@@ -100,13 +119,108 @@ class PhaseTracker:
         self._interval_index = 0
         self._previous_phase: Optional[int] = None
         self._listeners: List[PhaseChangeListener] = []
+        self._branches_in_interval = 0
+        self._telemetry = telemetry
+        if telemetry is not None:
+            self._init_telemetry(telemetry)
 
     # -- wiring ---------------------------------------------------------------
+
+    def _init_telemetry(self, telemetry: "Telemetry") -> None:
+        metrics = telemetry.metrics
+        self._m_branches = metrics.counter(
+            "repro_tracker_branches_total",
+            "Committed branches observed by the tracker",
+        )
+        self._m_instructions = metrics.counter(
+            "repro_tracker_instructions_total",
+            "Committed instructions attributed to completed intervals",
+        )
+        self._m_intervals = metrics.counter(
+            "repro_tracker_intervals_total",
+            "Intervals classified at boundaries",
+        )
+        self._m_transitions = metrics.counter(
+            "repro_tracker_transition_intervals_total",
+            "Intervals classified into the transition phase (ID 0)",
+        )
+        self._m_phase_changes = metrics.counter(
+            "repro_tracker_phase_changes_total",
+            "Interval boundaries where the phase ID changed",
+        )
+        self._m_new_phases = metrics.counter(
+            "repro_tracker_new_phases_total",
+            "Real phase IDs allocated (entries turning stable)",
+        )
+        self._m_listener_errors = metrics.counter(
+            "repro_tracker_listener_errors_total",
+            "Phase-change listener callbacks that raised",
+        )
+        self._m_table_hits = metrics.counter(
+            "repro_signature_table_hits_total",
+            "Signatures matched to an existing table entry",
+        )
+        self._m_table_misses = metrics.counter(
+            "repro_signature_table_misses_total",
+            "Signatures that inserted a new table entry",
+        )
+        self._m_table_evictions = metrics.counter(
+            "repro_signature_table_evictions_total",
+            "LRU evictions from the signature table",
+        )
+        self._m_table_occupancy = metrics.gauge(
+            "repro_signature_table_occupancy",
+            "Live signature-table entries",
+        )
+        self._m_halvings = metrics.counter(
+            "repro_classifier_threshold_halvings_total",
+            "Adaptive similarity-threshold halvings (paper §4.6)",
+        )
+        self._m_pred_total = metrics.counter(
+            "repro_next_phase_predictions_total",
+            "Next-phase predictions evaluated against the actual phase",
+        )
+        self._m_pred_correct = metrics.counter(
+            "repro_next_phase_correct_total",
+            "Next-phase predictions that were correct",
+        )
+        self._m_pred_confident = metrics.counter(
+            "repro_next_phase_confident_total",
+            "Next-phase predictions issued with confidence",
+        )
+        self._m_pred_confident_correct = metrics.counter(
+            "repro_next_phase_confident_correct_total",
+            "Confident next-phase predictions that were correct",
+        )
+        self._h_branch_ingest = metrics.histogram(
+            "repro_branch_ingest_seconds",
+            "Mean per-branch observe latency, measured per interval",
+            start=1e-8,
+            factor=4.0,
+            count=14,
+        )
+        self._evictions_seen = 0
+        self._last_prediction: Optional[NextPhasePrediction] = None
+        self._observe_window_start: Optional[float] = None
+        telemetry.emit(
+            "tracker_start",
+            interval_instructions=self.interval_instructions,
+            config=asdict(self.classifier.config),
+            change_predictor=type(
+                self.next_phase.change_predictor
+            ).__name__ if self.next_phase.change_predictor else None,
+        )
 
     def add_phase_change_listener(
         self, listener: PhaseChangeListener
     ) -> None:
-        """Register a callback fired whenever the phase ID changes."""
+        """Register a callback fired whenever the phase ID changes.
+
+        Listeners are isolated: a raising listener is logged (and
+        counted/recorded when telemetry is attached) and the remaining
+        listeners still run — interval completion never aborts on a
+        listener failure.
+        """
         self._listeners.append(listener)
 
     # -- the streaming interface ------------------------------------------------
@@ -125,6 +239,7 @@ class PhaseTracker:
             )
         self.classifier.accumulator.update(pc, instructions)
         self._instructions += instructions
+        self._branches_in_interval += 1
         if self._instructions >= self.interval_instructions:
             self._boundary_pending = True
         return self._boundary_pending
@@ -134,28 +249,36 @@ class PhaseTracker:
         if not self._boundary_pending and self._instructions == 0:
             raise PredictionError("no interval content to complete")
 
-        accumulator = self.classifier.accumulator
-        compressed = self.classifier.bit_selector.compress(
-            accumulator.counters, accumulator.average_counter_value
-        )
-        signature = Signature(
-            compressed, bits=self.classifier.config.bits_per_counter
-        )
-        result: ClassificationResult = self.classifier.classify_signature(
-            signature, cpi
-        )
-        accumulator.clear()
+        telemetry = self._telemetry
+        interval_instructions = self._instructions
+        interval_branches = self._branches_in_interval
+
+        if telemetry is None:
+            signature = self._form_signature()
+            result = self.classifier.classify_signature(signature, cpi)
+            prediction = self._update_predictors(result.phase_id)
+        else:
+            now = telemetry.tracer.clock()
+            if (
+                self._observe_window_start is not None
+                and interval_branches > 0
+            ):
+                self._h_branch_ingest.observe(
+                    (now - self._observe_window_start) / interval_branches
+                )
+            with telemetry.span("interval"):
+                with telemetry.span("signature"):
+                    signature = self._form_signature()
+                with telemetry.span("match"):
+                    result = self.classifier.classify_signature(
+                        signature, cpi
+                    )
+                with telemetry.span("predict"):
+                    prediction = self._update_predictors(result.phase_id)
+
         self._instructions = 0
+        self._branches_in_interval = 0
         self._boundary_pending = False
-
-        self.next_phase.step(result.phase_id)
-        self.length_predictor.observe(result.phase_id)
-
-        prediction: Optional[NextPhasePrediction] = None
-        try:
-            prediction = self.next_phase.predict()
-        except PredictionError:  # pragma: no cover - first interval only
-            prediction = None
 
         phase_changed = (
             self._previous_phase is not None
@@ -180,10 +303,126 @@ class PhaseTracker:
         self._interval_index += 1
         self._previous_phase = result.phase_id
 
+        if telemetry is not None:
+            self._record_interval_telemetry(
+                telemetry, report, result, prediction, cpi,
+                interval_instructions, interval_branches,
+            )
+
         if phase_changed:
-            for listener in self._listeners:
-                listener(report)
+            self._notify_listeners(report)
         return report
+
+    # -- interval stages ------------------------------------------------------
+
+    def _form_signature(self) -> Signature:
+        """Compress the accumulated counters into the interval signature."""
+        accumulator = self.classifier.accumulator
+        compressed = self.classifier.bit_selector.compress(
+            accumulator.counters, accumulator.average_counter_value
+        )
+        accumulator.clear()
+        return Signature(
+            compressed, bits=self.classifier.config.bits_per_counter
+        )
+
+    def _update_predictors(
+        self, phase_id: int
+    ) -> Optional[NextPhasePrediction]:
+        """Train predictors on the classified interval; predict the next."""
+        self.next_phase.step(phase_id)
+        self.length_predictor.observe(phase_id)
+        try:
+            return self.next_phase.predict()
+        except PredictionError:  # pragma: no cover - first interval only
+            return None
+
+    # -- telemetry ------------------------------------------------------------
+
+    def _record_interval_telemetry(
+        self,
+        telemetry: "Telemetry",
+        report: TrackerReport,
+        result: ClassificationResult,
+        prediction: Optional[NextPhasePrediction],
+        cpi: float,
+        interval_instructions: int,
+        interval_branches: int,
+    ) -> None:
+        self._m_branches.inc(interval_branches)
+        self._m_instructions.inc(interval_instructions)
+        self._m_intervals.inc()
+        if result.matched:
+            self._m_table_hits.inc()
+        else:
+            self._m_table_misses.inc()
+        evictions = self.classifier.table.evictions
+        if evictions > self._evictions_seen:
+            self._m_table_evictions.inc(evictions - self._evictions_seen)
+            self._evictions_seen = evictions
+        self._m_table_occupancy.set(len(self.classifier.table))
+        if result.threshold_tightened:
+            self._m_halvings.inc()
+        if result.new_phase_allocated:
+            self._m_new_phases.inc()
+        if report.is_transition:
+            self._m_transitions.inc()
+        if report.phase_changed:
+            self._m_phase_changes.inc()
+
+        # Score the prediction made at the previous boundary against
+        # the phase this interval actually landed in.
+        evaluated = self._last_prediction
+        if evaluated is not None:
+            correct = evaluated.phase_id == report.phase_id
+            self._m_pred_total.inc()
+            if correct:
+                self._m_pred_correct.inc()
+            if evaluated.confident:
+                self._m_pred_confident.inc()
+                if correct:
+                    self._m_pred_confident_correct.inc()
+        self._last_prediction = prediction
+
+        telemetry.emit(
+            "interval",
+            interval=report.interval_index,
+            phase_id=report.phase_id,
+            is_transition=report.is_transition,
+            phase_changed=report.phase_changed,
+            new_phase_allocated=report.new_phase_allocated,
+            predicted_next_phase=report.predicted_next_phase,
+            prediction_confident=report.prediction_confident,
+            predicted_length_class=report.predicted_length_class,
+            table_occupancy=len(self.classifier.table),
+            threshold_halvings=int(self._m_halvings.value),
+            cpi=cpi,
+            branches=interval_branches,
+        )
+        self._observe_window_start = telemetry.tracer.clock()
+
+    # -- listeners ------------------------------------------------------------
+
+    def _notify_listeners(self, report: TrackerReport) -> None:
+        for listener in self._listeners:
+            try:
+                listener(report)
+            except Exception as error:  # noqa: BLE001 - isolation boundary
+                logger.exception(
+                    "phase-change listener %r raised at interval %d; "
+                    "continuing",
+                    listener,
+                    report.interval_index,
+                )
+                if self._telemetry is not None:
+                    self._m_listener_errors.inc()
+                    self._telemetry.emit(
+                        "listener_error",
+                        interval=report.interval_index,
+                        phase_id=report.phase_id,
+                        listener=repr(listener),
+                        error=repr(error),
+                    )
 
     # -- inspection ---------------------------------------------------------------
 
@@ -200,3 +439,8 @@ class PhaseTracker:
     def instructions_into_interval(self) -> int:
         """Committed instructions since the last boundary."""
         return self._instructions
+
+    @property
+    def telemetry(self) -> "Optional[Telemetry]":
+        """The attached telemetry hub, if any."""
+        return self._telemetry

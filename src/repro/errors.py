@@ -41,3 +41,12 @@ class PredictionError(ReproError):
 
 class SimulationError(ReproError):
     """The microarchitecture substrate was driven with invalid inputs."""
+
+
+class TelemetryError(ReproError):
+    """The telemetry layer was misused.
+
+    For example: registering two metrics with the same name but
+    different kinds, an invalid metric name, or exporting with an
+    unknown format.
+    """

@@ -17,7 +17,12 @@ or programmatically::
     print(result.rendered)
 """
 
-from repro.harness.cache import cached_classified, cached_trace, clear_cache
+from repro.harness.cache import (
+    cached_classified,
+    cached_trace,
+    clear_cache,
+    set_cache_telemetry,
+)
 from repro.harness.experiment import (
     EXPERIMENT_NAMES,
     ExperimentResult,
@@ -33,5 +38,6 @@ __all__ = [
     "cached_trace",
     "clear_cache",
     "run_experiment",
+    "set_cache_telemetry",
     "sweep_classifier",
 ]

@@ -5,54 +5,69 @@ per-interval sampling) costs a second or two per benchmark; every
 figure needs all eleven benchmarks, so traces are memoized per
 ``(benchmark, scale)``. Classification runs are additionally memoized
 per classifier configuration — several figures share configurations.
+
+:class:`~repro.core.config.ClassifierConfig` is a frozen dataclass and
+therefore hashable, so the classification cache is keyed on the config
+*itself*: a field added to the config can never silently fall out of
+the cache key (the failure mode of the hand-maintained key tuple this
+replaced).
+
+Install a :class:`repro.telemetry.Telemetry` hub with
+:func:`set_cache_telemetry` to count hits and misses of both caches
+(``repro_harness_trace_cache_*`` / ``repro_harness_classified_cache_*``
+counters); the CLI does this automatically when ``--metrics`` or
+``--events`` is given.
 """
 
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Optional, Tuple
+from typing import Optional, TYPE_CHECKING
 
 from repro.core import ClassificationRun, ClassifierConfig, PhaseClassifier
 from repro.workloads import benchmark
 from repro.workloads.trace import IntervalTrace
 
+if TYPE_CHECKING:  # pragma: no cover - import-time typing only
+    from repro.telemetry import Telemetry
+
+_telemetry: "Optional[Telemetry]" = None
+
+
+def set_cache_telemetry(telemetry: "Optional[Telemetry]") -> None:
+    """Install (or, with ``None``, remove) the hub cache counters go to."""
+    global _telemetry
+    _telemetry = telemetry
+
+
+def _record(cache: str, hit: bool) -> None:
+    outcome = "hits" if hit else "misses"
+    _telemetry.metrics.counter(
+        f"repro_harness_{cache}_cache_{outcome}_total",
+        f"Harness {cache} cache {outcome}",
+    ).inc()
+
 
 @lru_cache(maxsize=None)
-def cached_trace(name: str, scale: float = 1.0) -> IntervalTrace:
-    """Generate (or return the memoized) trace for a benchmark."""
+def _trace(name: str, scale: float) -> IntervalTrace:
     return benchmark(name, scale=scale)
 
 
-def _config_key(config: ClassifierConfig) -> Tuple:
-    return (
-        config.num_counters,
-        config.bits_per_counter,
-        config.table_entries,
-        config.similarity_threshold,
-        config.min_count_threshold,
-        config.match_policy,
-        config.bit_selector,
-        config.static_low_bit,
-        config.perf_dev_threshold,
-    )
+def cached_trace(name: str, scale: float = 1.0) -> IntervalTrace:
+    """Generate (or return the memoized) trace for a benchmark."""
+    if _telemetry is None:
+        return _trace(name, scale)
+    hits_before = _trace.cache_info().hits
+    result = _trace(name, scale)
+    _record("trace", _trace.cache_info().hits > hits_before)
+    return result
 
 
 @lru_cache(maxsize=None)
-def _cached_classified(
-    name: str, scale: float, key: Tuple
+def _classified(
+    name: str, scale: float, config: ClassifierConfig
 ) -> ClassificationRun:
-    config = ClassifierConfig(
-        num_counters=key[0],
-        bits_per_counter=key[1],
-        table_entries=key[2],
-        similarity_threshold=key[3],
-        min_count_threshold=key[4],
-        match_policy=key[5],
-        bit_selector=key[6],
-        static_low_bit=key[7],
-        perf_dev_threshold=key[8],
-    )
-    trace = cached_trace(name, scale)
+    trace = _trace(name, scale)
     return PhaseClassifier(config).classify_trace(trace)
 
 
@@ -60,10 +75,15 @@ def cached_classified(
     name: str, config: ClassifierConfig, scale: float = 1.0
 ) -> ClassificationRun:
     """Classify a benchmark under a configuration (memoized)."""
-    return _cached_classified(name, scale, _config_key(config))
+    if _telemetry is None:
+        return _classified(name, scale, config)
+    hits_before = _classified.cache_info().hits
+    result = _classified(name, scale, config)
+    _record("classified", _classified.cache_info().hits > hits_before)
+    return result
 
 
 def clear_cache() -> None:
     """Drop all memoized traces and classification runs."""
-    cached_trace.cache_clear()
-    _cached_classified.cache_clear()
+    _trace.cache_clear()
+    _classified.cache_clear()

@@ -62,6 +62,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write each experiment's raw data as JSON to PATH "
         "(one object keyed by experiment name)",
     )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write a telemetry metrics snapshot to PATH after the run "
+        "(Prometheus text format; a .json extension selects the JSON "
+        "exporter)",
+    )
+    parser.add_argument(
+        "--events",
+        metavar="PATH",
+        default=None,
+        help="stream structured JSONL telemetry events to PATH during "
+        "the run",
+    )
     return parser
 
 
@@ -81,37 +96,77 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                   f"  {descriptor.description}")
         return 0
 
-    if args.classify is not None:
-        return _classify_report(args.classify, args.scale)
+    telemetry = _build_telemetry(args)
+    try:
+        if args.classify is not None:
+            return _classify_report(args.classify, args.scale, telemetry)
 
-    requested: List[str] = args.experiments or available
-    unknown = [name for name in requested if name not in available]
-    if unknown:
-        print(
-            f"unknown experiment(s): {', '.join(unknown)}; "
-            f"available: {', '.join(available)}",
-            file=sys.stderr,
-        )
-        return 2
+        requested: List[str] = args.experiments or available
+        unknown = [name for name in requested if name not in available]
+        if unknown:
+            print(
+                f"unknown experiment(s): {', '.join(unknown)}; "
+                f"available: {', '.join(available)}",
+                file=sys.stderr,
+            )
+            return 2
 
-    collected = {}
-    for name in requested:
-        start = time.time()
-        result = run_experiment(name, scale=args.scale)
-        print(result.rendered)
-        print(f"[{name} completed in {time.time() - start:.1f}s]\n")
-        collected[name] = {"title": result.title, "data": result.data}
+        collected = {}
+        for name in requested:
+            start = time.time()
+            result = run_experiment(
+                name, scale=args.scale, telemetry=telemetry
+            )
+            print(result.rendered)
+            print(f"[{name} completed in {time.time() - start:.1f}s]\n")
+            collected[name] = {"title": result.title, "data": result.data}
 
-    if args.json is not None:
-        import json
+        if args.json is not None:
+            import json
 
-        with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(collected, handle, indent=2, default=float)
-        print(f"[raw data written to {args.json}]")
-    return 0
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(collected, handle, indent=2, default=float)
+            print(f"[raw data written to {args.json}]")
+        return 0
+    finally:
+        _finalize_telemetry(args, telemetry)
 
 
-def _classify_report(name: str, scale: float) -> int:
+def _build_telemetry(args):
+    """Build the run's telemetry hub when --metrics/--events ask for one."""
+    if args.metrics is None and args.events is None:
+        return None
+    from repro.harness.cache import set_cache_telemetry
+    from repro.telemetry import Telemetry
+
+    telemetry = Telemetry.to_files(
+        metrics_path=args.metrics, events_path=args.events
+    )
+    set_cache_telemetry(telemetry)
+    telemetry.emit(
+        "run_start",
+        experiments=list(args.experiments),
+        scale=args.scale,
+        classify=args.classify,
+    )
+    return telemetry
+
+
+def _finalize_telemetry(args, telemetry) -> None:
+    if telemetry is None:
+        return
+    from repro.harness.cache import set_cache_telemetry
+
+    set_cache_telemetry(None)
+    telemetry.emit("run_end")
+    telemetry.close()
+    if args.metrics is not None:
+        print(f"[metrics written to {args.metrics}]")
+    if args.events is not None:
+        print(f"[events written to {args.events}]")
+
+
+def _classify_report(name: str, scale: float, telemetry=None) -> int:
     """Classify one benchmark and print the full phase report."""
     from repro.analysis.cov import weighted_cov
     from repro.analysis.profile import format_profile_table, profile_phases
@@ -127,9 +182,22 @@ def _classify_report(name: str, scale: float) -> int:
         print(str(error), file=sys.stderr)
         return 2
 
-    run = PhaseClassifier(
-        ClassifierConfig.paper_default()
-    ).classify_trace(trace)
+    if telemetry is not None:
+        telemetry.emit("classify_start", benchmark=name, scale=scale)
+        with telemetry.span(f"classify:{name}"):
+            run = PhaseClassifier(
+                ClassifierConfig.paper_default()
+            ).classify_trace(trace)
+        telemetry.emit(
+            "classify_end",
+            benchmark=name,
+            intervals=len(trace),
+            phases=run.num_phases,
+        )
+    else:
+        run = PhaseClassifier(
+            ClassifierConfig.paper_default()
+        ).classify_trace(trace)
     print(f"{name}: {len(trace)} intervals of "
           f"{trace.interval_instructions / 1e6:.0f}M instructions")
     print(f"whole-program CoV {trace.whole_program_cov():.1%}  ->  "

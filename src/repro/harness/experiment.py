@@ -3,9 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import-time typing only
+    from repro.telemetry import Telemetry
 
 
 @dataclass
@@ -44,8 +47,19 @@ def register(name: str) -> Callable:
     return wrap
 
 
-def run_experiment(name: str, scale: float = 1.0) -> ExperimentResult:
-    """Run a registered experiment by name."""
+def run_experiment(
+    name: str,
+    scale: float = 1.0,
+    telemetry: "Optional[Telemetry]" = None,
+) -> ExperimentResult:
+    """Run a registered experiment by name.
+
+    With a :class:`repro.telemetry.Telemetry` hub attached the run is
+    wrapped in an ``experiment:<name>`` span, counted in
+    ``repro_harness_experiments_total``, and bracketed by
+    ``experiment_start``/``experiment_end`` events (or
+    ``experiment_error`` if it raises).
+    """
     # Importing figures lazily avoids a circular import at package load
     # and ensures the registry is populated.
     from repro.harness import figures  # noqa: F401
@@ -57,7 +71,35 @@ def run_experiment(name: str, scale: float = 1.0) -> ExperimentResult:
             f"unknown experiment {name!r}; expected one of "
             f"{sorted(_REGISTRY)}"
         ) from None
-    return func(scale=scale)
+    if telemetry is None:
+        return func(scale=scale)
+
+    telemetry.metrics.counter(
+        "repro_harness_experiments_total",
+        "Experiments executed by the harness",
+    ).inc()
+    telemetry.emit("experiment_start", experiment=name, scale=scale)
+    start = telemetry.tracer.clock()
+    try:
+        with telemetry.span(f"experiment:{name}"):
+            result = func(scale=scale)
+    except Exception as error:
+        telemetry.metrics.counter(
+            "repro_harness_experiment_errors_total",
+            "Experiments that raised",
+        ).inc()
+        telemetry.emit(
+            "experiment_error", experiment=name, error=repr(error)
+        )
+        raise
+    telemetry.emit(
+        "experiment_end",
+        experiment=name,
+        scale=scale,
+        seconds=round(telemetry.tracer.clock() - start, 6),
+        tables=len(result.tables),
+    )
+    return result
 
 
 def experiment_names() -> List[str]:

@@ -1,0 +1,60 @@
+"""repro.telemetry — metrics, structured events, and tracing.
+
+The observability layer for the phase-tracking system. A deployed
+:class:`~repro.core.online.PhaseTracker` is an always-on runtime
+monitor; this package makes the monitor itself measurable:
+
+- :mod:`repro.telemetry.metrics` — thread-safe :class:`Counter`,
+  :class:`Gauge` and log-bucket :class:`Histogram` primitives in a
+  :class:`MetricsRegistry`.
+- :mod:`repro.telemetry.tracing` — :class:`Tracer`/:class:`Span`
+  context-manager timing with parent/child nesting.
+- :mod:`repro.telemetry.events` — an append-only JSONL
+  :class:`EventLog` (one record per interval boundary plus lifecycle
+  events) and :func:`read_events` to parse it back.
+- :mod:`repro.telemetry.export` — the pluggable :class:`Exporter`
+  interface with Prometheus text-format and JSON snapshot
+  implementations.
+- :mod:`repro.telemetry.hub` — :class:`Telemetry`, the one handle the
+  instrumented layers (`PhaseTracker(telemetry=...)`, the experiment
+  harness, the harness caches) share.
+
+The package is dependency-free (stdlib only) and safe to import from
+the hot path; every instrumentation point in the library is optional
+and off by default.
+"""
+
+from repro.telemetry.events import EventLog, read_events
+from repro.telemetry.export import (
+    Exporter,
+    JSONExporter,
+    PrometheusExporter,
+    exporter_for,
+    parse_prometheus_text,
+)
+from repro.telemetry.hub import Telemetry
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.tracing import Span, SpanStats, Tracer
+
+__all__ = [
+    "Counter",
+    "EventLog",
+    "Exporter",
+    "Gauge",
+    "Histogram",
+    "JSONExporter",
+    "MetricsRegistry",
+    "PrometheusExporter",
+    "Span",
+    "SpanStats",
+    "Telemetry",
+    "Tracer",
+    "exporter_for",
+    "parse_prometheus_text",
+    "read_events",
+]

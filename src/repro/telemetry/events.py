@@ -1,0 +1,184 @@
+"""Structured JSONL event stream.
+
+Every record is one JSON object per line with three envelope fields —
+``event`` (the record type), ``seq`` (a per-log monotonically
+increasing sequence number) and ``ts`` (wall-clock seconds) — plus the
+emitter's payload fields. The stream is append-only and flushed per
+record, so a crashed run still leaves a parseable prefix.
+
+Well-known record types emitted by the instrumented layers:
+
+``tracker_start``
+    One per :class:`~repro.core.online.PhaseTracker` construction;
+    carries the classifier configuration and interval length.
+``interval``
+    One per completed interval: phase id, transition flag, phase-change
+    flag, the outstanding next-phase prediction and its confidence, the
+    predicted length class, signature-table occupancy, cumulative
+    threshold halvings, CPI and branch count.
+``listener_error``
+    A phase-change listener raised; interval completion continued.
+``experiment_start`` / ``experiment_end`` / ``experiment_error``
+    Harness lifecycle, with the experiment name, scale and duration.
+``run_start`` / ``run_end``
+    One CLI invocation.
+
+:func:`read_events` parses a stream back into dicts, validating the
+envelope — the round-trip used by the test suite and any downstream
+consumer.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+from typing import Callable, Dict, IO, Iterable, List, Optional, Union
+
+from repro.errors import TelemetryError
+
+#: Envelope fields present on every record.
+ENVELOPE_FIELDS = ("event", "seq", "ts")
+
+
+def _jsonable(value: object) -> object:
+    """Best-effort coercion for non-JSON scalars (numpy ints/floats)."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    return repr(value)
+
+
+class EventLog:
+    """Append-only JSONL sink, thread-safe, one record per ``emit``.
+
+    Parameters
+    ----------
+    path:
+        File to create/truncate and stream records into.
+    stream:
+        An already-open text stream (e.g. ``io.StringIO``) used instead
+        of ``path``. Exactly one of the two must be given.
+    clock:
+        Timestamp source; defaults to :func:`time.time`.
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        stream: Optional[IO[str]] = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if (path is None) == (stream is None):
+            raise TelemetryError(
+                "EventLog needs exactly one of path= or stream="
+            )
+        self._owns_stream = stream is None
+        self._stream: Optional[IO[str]] = (
+            stream if stream is not None
+            else open(path, "w", encoding="utf-8")
+        )
+        self.path = path
+        self.clock = clock
+        self._seq = 0
+        self._lock = threading.Lock()
+
+    def emit(self, event: str, /, **fields: object) -> Dict[str, object]:
+        """Write one record; returns the record as emitted."""
+        if not event:
+            raise TelemetryError("event type must be non-empty")
+        for reserved in ENVELOPE_FIELDS:
+            if reserved in fields:
+                raise TelemetryError(
+                    f"field {reserved!r} is part of the event envelope"
+                )
+        with self._lock:
+            if self._stream is None:
+                raise TelemetryError("EventLog is closed")
+            record: Dict[str, object] = {
+                "event": event,
+                "seq": self._seq,
+                "ts": round(self.clock(), 6),
+            }
+            record.update(fields)
+            self._stream.write(
+                json.dumps(
+                    record, separators=(",", ":"), default=_jsonable
+                )
+            )
+            self._stream.write("\n")
+            self._stream.flush()
+            self._seq += 1
+        return record
+
+    @property
+    def records_emitted(self) -> int:
+        return self._seq
+
+    @property
+    def closed(self) -> bool:
+        return self._stream is None
+
+    def close(self) -> None:
+        """Close the sink (owned files only); further emits raise."""
+        with self._lock:
+            stream = self._stream
+            self._stream = None
+        if stream is not None and self._owns_stream:
+            stream.close()
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def read_events(
+    source: Union[str, IO[str], Iterable[str]],
+) -> List[Dict[str, object]]:
+    """Parse a JSONL event stream back into records.
+
+    ``source`` may be a path, an open text stream, or an iterable of
+    lines. Each record's envelope is validated and ``seq`` is checked
+    to be strictly increasing.
+    """
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    elif isinstance(source, io.IOBase) or hasattr(source, "read"):
+        lines = source.read().splitlines()
+    else:
+        lines = list(source)
+
+    records: List[Dict[str, object]] = []
+    last_seq = -1
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise TelemetryError(
+                f"event stream line {number} is not valid JSON: {error}"
+            ) from None
+        if not isinstance(record, dict):
+            raise TelemetryError(
+                f"event stream line {number} is not an object"
+            )
+        for field in ENVELOPE_FIELDS:
+            if field not in record:
+                raise TelemetryError(
+                    f"event stream line {number} lacks envelope field "
+                    f"{field!r}"
+                )
+        if record["seq"] <= last_seq:
+            raise TelemetryError(
+                f"event stream line {number}: seq {record['seq']} not "
+                f"increasing (previous {last_seq})"
+            )
+        last_seq = record["seq"]
+        records.append(record)
+    return records

@@ -1,0 +1,144 @@
+"""Metric exporters: Prometheus text format and JSON snapshots.
+
+An :class:`Exporter` turns a
+:class:`~repro.telemetry.metrics.MetricsRegistry` snapshot into text.
+Two implementations ship:
+
+- :class:`PrometheusExporter` — the Prometheus text exposition format
+  (``# HELP``/``# TYPE`` comments, ``_bucket{le="..."}`` cumulative
+  histogram series), scrapeable by any Prometheus-compatible agent or
+  diffable as plain text.
+- :class:`JSONExporter` — the raw snapshot as one JSON object, for
+  programmatic consumers.
+
+:func:`exporter_for` picks an exporter from a format name or a file
+extension (``.json`` selects JSON, anything else Prometheus), which is
+how the CLI's ``--metrics PATH`` chooses.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional
+
+from repro.errors import TelemetryError
+from repro.telemetry.metrics import MetricsRegistry
+
+
+class Exporter(ABC):
+    """Renders a metrics registry to text; pluggable."""
+
+    #: Short format identifier (used by :func:`exporter_for`).
+    format_name: str = ""
+
+    @abstractmethod
+    def render(self, registry: MetricsRegistry) -> str:
+        """Serialize the registry's current state."""
+
+    def write(self, registry: MetricsRegistry, path: str) -> None:
+        """Render and write to ``path`` atomically enough for a CLI."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.render(registry))
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample formatting: integers bare, +Inf spelled out."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class PrometheusExporter(Exporter):
+    """Prometheus text exposition format (version 0.0.4)."""
+
+    format_name = "prometheus"
+
+    def render(self, registry: MetricsRegistry) -> str:
+        lines: List[str] = []
+        for snap in registry.snapshot():
+            name = snap["name"]
+            if snap["help"]:
+                lines.append(f"# HELP {name} {snap['help']}")
+            lines.append(f"# TYPE {name} {snap['type']}")
+            if snap["type"] in ("counter", "gauge"):
+                lines.append(f"{name} {_format_value(snap['value'])}")
+                continue
+            # Histogram: cumulative buckets, then _sum and _count.
+            running = 0
+            bounds = list(snap["bounds"]) + [math.inf]
+            for bound, count in zip(bounds, snap["counts"]):
+                running += count
+                lines.append(
+                    f'{name}_bucket{{le="{_format_value(bound)}"}} '
+                    f"{running}"
+                )
+            lines.append(f"{name}_sum {_format_value(snap['sum'])}")
+            lines.append(f"{name}_count {snap['count']}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+class JSONExporter(Exporter):
+    """The registry snapshot as one indented JSON object."""
+
+    format_name = "json"
+
+    def render(self, registry: MetricsRegistry) -> str:
+        payload = {
+            "format": "repro.telemetry/v1",
+            "metrics": registry.snapshot(),
+        }
+        return json.dumps(payload, indent=2, default=float) + "\n"
+
+
+_EXPORTERS: Dict[str, type] = {
+    PrometheusExporter.format_name: PrometheusExporter,
+    JSONExporter.format_name: JSONExporter,
+}
+
+
+def exporter_for(
+    format: Optional[str] = None, path: Optional[str] = None
+) -> Exporter:
+    """Build an exporter from an explicit format or a target path.
+
+    An explicit ``format`` wins; otherwise a ``.json`` extension on
+    ``path`` selects JSON and everything else gets Prometheus text.
+    """
+    if format is not None:
+        try:
+            return _EXPORTERS[format]()
+        except KeyError:
+            raise TelemetryError(
+                f"unknown exporter format {format!r}; expected one of "
+                f"{sorted(_EXPORTERS)}"
+            ) from None
+    if path is not None and path.lower().endswith(".json"):
+        return JSONExporter()
+    return PrometheusExporter()
+
+
+def parse_prometheus_text(text: str) -> Dict[str, float]:
+    """Parse exposition text back into ``{series_name: value}``.
+
+    Intended for tests and the dashboard example: histogram bucket
+    series keep their ``{le=...}`` suffix as part of the key.
+    """
+    samples: Dict[str, float] = {}
+    for number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            key, raw = line.rsplit(None, 1)
+            samples[key] = float(raw.replace("+Inf", "inf"))
+        except ValueError:
+            raise TelemetryError(
+                f"unparseable exposition line {number}: {line!r}"
+            ) from None
+    return samples

@@ -1,0 +1,124 @@
+"""The :class:`Telemetry` hub: one handle for metrics, spans, events.
+
+Instrumented layers (:class:`~repro.core.online.PhaseTracker`, the
+experiment harness, the harness caches) accept an optional
+``telemetry=`` argument; passing one hub to all of them aggregates the
+whole run in one place::
+
+    from repro.telemetry import Telemetry
+
+    telemetry = Telemetry.to_files(metrics_path="run.prom",
+                                   events_path="run.jsonl")
+    tracker = PhaseTracker(config, telemetry=telemetry)
+    ...
+    telemetry.close()        # writes run.prom, closes run.jsonl
+
+A hub constructed with no arguments keeps everything in memory (no
+event sink, no output files) — the cheapest way to instrument a
+library embedding.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+from repro.telemetry.events import EventLog
+from repro.telemetry.export import Exporter, exporter_for
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.tracing import Span, Tracer
+
+
+class Telemetry:
+    """Bundle of a metrics registry, a tracer, and an optional event log."""
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        events: Optional[EventLog] = None,
+        clock: Callable[[], float] = time.perf_counter,
+        metrics_path: Optional[str] = None,
+    ) -> None:
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self.tracer = Tracer(registry=self.metrics, clock=clock)
+        self.events = events
+        self.metrics_path = metrics_path
+        self._closed = False
+
+    @classmethod
+    def to_files(
+        cls,
+        metrics_path: Optional[str] = None,
+        events_path: Optional[str] = None,
+    ) -> "Telemetry":
+        """A hub that streams events to ``events_path`` while running
+        and writes a metrics snapshot to ``metrics_path`` on close.
+
+        Both paths are opened eagerly so an unwritable destination fails
+        here, before any instrumented work runs, rather than at close.
+        """
+        if metrics_path is not None:
+            with open(metrics_path, "w", encoding="utf-8"):
+                pass
+        events = (
+            EventLog(path=events_path) if events_path is not None else None
+        )
+        return cls(events=events, metrics_path=metrics_path)
+
+    # -- metric shortcuts -------------------------------------------------
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self.metrics.counter(name, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self.metrics.gauge(name, help=help)
+
+    def histogram(self, name: str, help: str = "", **kwargs) -> Histogram:
+        return self.metrics.histogram(name, help=help, **kwargs)
+
+    # -- tracing / events -------------------------------------------------
+
+    def span(self, name: str) -> Span:
+        """A nested timing span (see :mod:`repro.telemetry.tracing`)."""
+        return self.tracer.span(name)
+
+    def emit(self, event: str, /, **fields: object) -> None:
+        """Emit a structured event; a no-op without an event sink."""
+        if self.events is not None and not self.events.closed:
+            self.events.emit(event, **fields)
+
+    # -- export -----------------------------------------------------------
+
+    def render_metrics(self, format: str = "prometheus") -> str:
+        """The current metrics snapshot as text."""
+        return exporter_for(format=format).render(self.metrics)
+
+    def write_metrics(
+        self, path: str, exporter: Optional[Exporter] = None
+    ) -> None:
+        """Write a snapshot to ``path`` (format chosen by extension
+        unless an explicit exporter is given)."""
+        (exporter or exporter_for(path=path)).write(self.metrics, path)
+
+    def span_timings(self) -> Dict[str, object]:
+        """Convenience passthrough to :meth:`Tracer.timings`."""
+        return self.tracer.timings()
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush outputs: write the configured metrics file (if any)
+        and close the event log. Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.metrics_path is not None:
+            self.write_metrics(self.metrics_path)
+        if self.events is not None:
+            self.events.close()
+
+    def __enter__(self) -> "Telemetry":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

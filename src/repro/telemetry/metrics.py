@@ -1,0 +1,311 @@
+"""Metric primitives: counters, gauges, log-bucket histograms.
+
+The hot path of a deployed phase tracker executes per committed branch,
+so the primitives here are deliberately boring: a :class:`Counter` is
+one float behind a lock, a :class:`Histogram` finds its bucket with a
+binary search over a precomputed bound tuple. Nothing on the record
+path allocates beyond what CPython needs for the call itself.
+
+All metrics live in a :class:`MetricsRegistry`, which hands out
+get-or-create references (two subsystems asking for the same counter
+name share the instance) and produces the snapshots the exporters in
+:mod:`repro.telemetry.export` render.
+
+Naming follows Prometheus conventions: ``[a-zA-Z_:][a-zA-Z0-9_:]*``,
+counters ending in ``_total``, durations in ``_seconds``.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from bisect import bisect_left
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import TelemetryError
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def validate_metric_name(name: str) -> str:
+    """Check a metric name against the Prometheus grammar."""
+    if not _NAME_RE.match(name):
+        raise TelemetryError(
+            f"invalid metric name {name!r}; expected "
+            "[a-zA-Z_:][a-zA-Z0-9_:]*"
+        )
+    return name
+
+
+def sanitize_metric_name(raw: str) -> str:
+    """Coerce an arbitrary string (e.g. a span path) into a legal name.
+
+    Colons are legal in the Prometheus grammar but conventionally
+    reserved for recording rules, so they are replaced too.
+    """
+    cleaned = re.sub(r"[^a-zA-Z0-9_]", "_", raw)
+    if not cleaned or not _NAME_RE.match(cleaned[0]):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+class Counter:
+    """A monotonically increasing count (events, branches, hits)."""
+
+    kind = "counter"
+
+    __slots__ = ("name", "help", "_value", "_lock")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = validate_metric_name(name)
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise TelemetryError(
+                f"counter {self.name} cannot decrease (inc by {amount})"
+            )
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "help": self.help,
+            "value": self._value,
+        }
+
+
+class Gauge:
+    """A value that can go up and down (occupancy, queue depth)."""
+
+    kind = "gauge"
+
+    __slots__ = ("name", "help", "_value", "_lock")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = validate_metric_name(name)
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "help": self.help,
+            "value": self._value,
+        }
+
+
+#: Default histogram geometry: 1µs first bound, ×4 per bucket, 14
+#: buckets -> top finite bound ~67s. Suits both per-branch latencies
+#: (tens of ns land in the first bucket) and whole-experiment spans.
+DEFAULT_HISTOGRAM_START = 1e-6
+DEFAULT_HISTOGRAM_FACTOR = 4.0
+DEFAULT_HISTOGRAM_BUCKETS = 14
+
+
+class Histogram:
+    """Fixed log-scale-bucket histogram of observed values.
+
+    Bucket upper bounds are ``start * factor**i`` for ``i`` in
+    ``range(count)``; values above the last bound land in the implicit
+    overflow (``+Inf``) bucket. Bounds are precomputed so
+    :meth:`observe` is a binary search plus three scalar updates.
+    """
+
+    kind = "histogram"
+
+    __slots__ = (
+        "name", "help", "bounds", "_counts", "_overflow",
+        "_sum", "_observations", "_min", "_max", "_lock",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        start: float = DEFAULT_HISTOGRAM_START,
+        factor: float = DEFAULT_HISTOGRAM_FACTOR,
+        count: int = DEFAULT_HISTOGRAM_BUCKETS,
+    ) -> None:
+        if start <= 0:
+            raise TelemetryError(f"histogram start must be > 0, got {start}")
+        if factor <= 1.0:
+            raise TelemetryError(
+                f"histogram factor must be > 1, got {factor}"
+            )
+        if count < 1:
+            raise TelemetryError(
+                f"histogram bucket count must be >= 1, got {count}"
+            )
+        self.name = validate_metric_name(name)
+        self.help = help
+        self.bounds: Tuple[float, ...] = tuple(
+            start * factor ** i for i in range(count)
+        )
+        self._counts = [0] * count
+        self._overflow = 0
+        self._sum = 0.0
+        self._observations = 0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            if index < len(self._counts):
+                self._counts[index] += 1
+            else:
+                self._overflow += 1
+            self._sum += value
+            self._observations += 1
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._observations
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._observations if self._observations else 0.0
+
+    def bucket_counts(self) -> List[int]:
+        """Per-bucket (non-cumulative) counts; overflow appended last."""
+        with self._lock:
+            return list(self._counts) + [self._overflow]
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """Prometheus-style cumulative ``(le, count)`` pairs, ending
+        with the ``+Inf`` bucket."""
+        pairs: List[Tuple[float, int]] = []
+        running = 0
+        with self._lock:
+            for bound, bucket in zip(self.bounds, self._counts):
+                running += bucket
+                pairs.append((bound, running))
+            pairs.append((float("inf"), running + self._overflow))
+        return pairs
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            counts = list(self._counts) + [self._overflow]
+            observations = self._observations
+            total = self._sum
+            minimum = self._min if observations else None
+            maximum = self._max if observations else None
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "help": self.help,
+            "count": observations,
+            "sum": total,
+            "min": minimum,
+            "max": maximum,
+            "bounds": list(self.bounds),
+            "counts": counts,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe, insertion-ordered collection of named metrics.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: asking twice
+    for the same name returns the same object, and asking for an
+    existing name as a different kind raises :class:`TelemetryError`.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: "Dict[str, object]" = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, kind: type, name: str, **kwargs):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, kind):
+                    raise TelemetryError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, cannot re-register as "
+                        f"{kind.kind}"
+                    )
+                return existing
+            metric = kind(name, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help=help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        start: float = DEFAULT_HISTOGRAM_START,
+        factor: float = DEFAULT_HISTOGRAM_FACTOR,
+        count: int = DEFAULT_HISTOGRAM_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help=help, start=start, factor=factor,
+            count=count,
+        )
+
+    def get(self, name: str) -> Optional[object]:
+        """The metric registered under ``name``, or ``None``."""
+        with self._lock:
+            return self._metrics.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._metrics
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return list(self._metrics)
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        """Point-in-time state of every metric, in registration order."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        return [metric.snapshot() for metric in metrics]

@@ -1,0 +1,160 @@
+"""Span-based timing with parent/child nesting.
+
+A :class:`Tracer` hands out :class:`Span` context managers::
+
+    with tracer.span("interval"):
+        with tracer.span("classify"):
+            ...
+
+Nested spans get slash-joined paths (``interval/classify``), so the
+per-stage aggregates distinguish the same stage name under different
+parents. Aggregation is per-path — count, total, min, max — and, when
+the tracer is wired to a :class:`~repro.telemetry.metrics.MetricsRegistry`,
+each path also feeds a log-bucket duration histogram named
+``repro_span_<path>_seconds`` so span timings ride along in every
+metrics export.
+
+Span stacks are thread-local; concurrent threads nest independently.
+The clock is injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import TelemetryError
+from repro.telemetry.metrics import (
+    Histogram,
+    MetricsRegistry,
+    sanitize_metric_name,
+)
+
+
+@dataclass
+class SpanStats:
+    """Aggregate timing for one span path."""
+
+    count: int = 0
+    total_seconds: float = 0.0
+    min_seconds: float = float("inf")
+    max_seconds: float = float("-inf")
+
+    def record(self, seconds: float) -> None:
+        self.count += 1
+        self.total_seconds += seconds
+        if seconds < self.min_seconds:
+            self.min_seconds = seconds
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+
+class Span:
+    """One timed region; use only as a context manager."""
+
+    __slots__ = ("tracer", "name", "path", "start_time", "_entered")
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.path: Optional[str] = None
+        self.start_time: Optional[float] = None
+        self._entered = False
+
+    def __enter__(self) -> "Span":
+        if self._entered:
+            raise TelemetryError(
+                f"span {self.name!r} entered twice; spans are single-use"
+            )
+        self._entered = True
+        self.tracer._push(self)
+        self.start_time = self.tracer.clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        elapsed = self.tracer.clock() - self.start_time
+        self.tracer._pop(self, elapsed)
+
+
+class Tracer:
+    """Factory and aggregator for nested timing spans."""
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.registry = registry
+        self.clock = clock
+        self._stats: Dict[str, SpanStats] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    def span(self, name: str) -> Span:
+        """A new span named ``name``, nested under the active span."""
+        if not name:
+            raise TelemetryError("span name must be non-empty")
+        return Span(self, name)
+
+    # -- span stack (thread-local) ---------------------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _push(self, span: Span) -> None:
+        stack = self._stack()
+        parent_path = stack[-1].path if stack else None
+        span.path = (
+            f"{parent_path}/{span.name}" if parent_path else span.name
+        )
+        stack.append(span)
+
+    def _pop(self, span: Span, elapsed: float) -> None:
+        stack = self._stack()
+        if not stack or stack[-1] is not span:
+            raise TelemetryError(
+                f"span {span.name!r} exited out of order"
+            )
+        stack.pop()
+        self._record(span.path, elapsed)
+
+    # -- aggregation -----------------------------------------------------
+
+    def _record(self, path: str, elapsed: float) -> None:
+        with self._lock:
+            stats = self._stats.get(path)
+            if stats is None:
+                stats = SpanStats()
+                self._stats[path] = stats
+            stats.record(elapsed)
+            histogram = self._histograms.get(path)
+        if histogram is None and self.registry is not None:
+            histogram = self.registry.histogram(
+                f"repro_span_{sanitize_metric_name(path)}_seconds",
+                help=f"Duration of the {path!r} span",
+            )
+            with self._lock:
+                self._histograms[path] = histogram
+        if histogram is not None:
+            histogram.observe(elapsed)
+
+    @property
+    def active_depth(self) -> int:
+        """Nesting depth of the calling thread's open spans."""
+        return len(self._stack())
+
+    def timings(self) -> Dict[str, SpanStats]:
+        """Per-path aggregate stats (a shallow copy; stats are live)."""
+        with self._lock:
+            return dict(self._stats)

@@ -9,7 +9,12 @@ import pytest
 
 from repro.core import ClassifierConfig
 from repro.errors import ConfigurationError
-from repro.harness.cache import cached_classified, cached_trace, clear_cache
+from repro.harness.cache import (
+    cached_classified,
+    cached_trace,
+    clear_cache,
+    set_cache_telemetry,
+)
 from repro.harness.cli import main
 from repro.harness.experiment import (
     ExperimentResult,
@@ -46,6 +51,53 @@ class TestTraceCache:
         clear_cache()
         b = cached_trace("gzip/g", SCALE)
         assert a is not b
+
+    def test_config_is_hashable_and_equal_by_value(self):
+        # The classified cache is keyed on the config itself, so two
+        # equal configs must hash alike (frozen dataclass semantics).
+        config_a = ClassifierConfig(min_count_threshold=4)
+        config_b = ClassifierConfig(min_count_threshold=4)
+        assert config_a == config_b
+        assert hash(config_a) == hash(config_b)
+        assert len({config_a, config_b}) == 1
+
+    def test_equal_configs_share_cache_entry(self):
+        clear_cache()
+        run_a = cached_classified(
+            "gzip/g", ClassifierConfig(min_count_threshold=4), SCALE
+        )
+        run_b = cached_classified(
+            "gzip/g", ClassifierConfig(min_count_threshold=4), SCALE
+        )
+        assert run_a is run_b
+
+    def test_cache_telemetry_counts_hits_and_misses(self):
+        from repro.telemetry import Telemetry
+
+        clear_cache()
+        telemetry = Telemetry()
+        set_cache_telemetry(telemetry)
+        try:
+            cached_trace("gzip/g", SCALE)
+            cached_trace("gzip/g", SCALE)
+            config = ClassifierConfig.paper_default()
+            cached_classified("gzip/g", config, SCALE)
+            cached_classified("gzip/g", config, SCALE)
+        finally:
+            set_cache_telemetry(None)
+        metrics = telemetry.metrics
+        assert metrics.get(
+            "repro_harness_trace_cache_misses_total"
+        ).value == 1
+        assert metrics.get(
+            "repro_harness_trace_cache_hits_total"
+        ).value == 1
+        assert metrics.get(
+            "repro_harness_classified_cache_misses_total"
+        ).value == 1
+        assert metrics.get(
+            "repro_harness_classified_cache_hits_total"
+        ).value == 1
 
 
 class TestRegistry:

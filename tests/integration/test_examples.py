@@ -19,6 +19,7 @@ FAST_EXAMPLES = [
     ("quickstart.py", "phases found"),
     ("adaptive_thresholds.py", "dynamic 25%"),
     ("custom_workload.py", "classifiable"),
+    ("telemetry_dashboard.py", "per-stage span timings"),
 ]
 
 

@@ -1,0 +1,99 @@
+"""End-to-end telemetry: a full experiment run dumping metrics + events.
+
+The acceptance path: ``repro-phases --scale 0.05 fig4 --metrics out.prom
+--events out.jsonl`` must produce valid Prometheus text and parseable
+JSONL covering the whole run lifecycle.
+"""
+
+import json
+
+import pytest
+
+from repro.harness.cache import clear_cache
+from repro.harness.cli import main
+from repro.telemetry import parse_prometheus_text, read_events
+
+
+@pytest.fixture(scope="module")
+def telemetry_run(tmp_path_factory):
+    """One fig4 run at tiny scale with both telemetry outputs."""
+    tmp_path = tmp_path_factory.mktemp("telemetry")
+    metrics_path = tmp_path / "out.prom"
+    events_path = tmp_path / "out.jsonl"
+    clear_cache()
+    exit_code = main([
+        "--scale", "0.05", "fig4",
+        "--metrics", str(metrics_path),
+        "--events", str(events_path),
+    ])
+    return exit_code, metrics_path, events_path
+
+
+class TestMetricsOutput:
+    def test_run_succeeds_and_writes_both_files(self, telemetry_run):
+        exit_code, metrics_path, events_path = telemetry_run
+        assert exit_code == 0
+        assert metrics_path.exists() and events_path.exists()
+
+    def test_prometheus_text_parses(self, telemetry_run):
+        _, metrics_path, _ = telemetry_run
+        samples = parse_prometheus_text(metrics_path.read_text())
+        assert samples["repro_harness_experiments_total"] == 1
+        # fig4 classifies all 11 benchmarks under 6 configurations;
+        # every one goes through the harness caches.
+        assert samples["repro_harness_trace_cache_misses_total"] == 11
+        assert samples["repro_harness_classified_cache_misses_total"] > 0
+
+    def test_exposition_format_lines(self, telemetry_run):
+        _, metrics_path, _ = telemetry_run
+        text = metrics_path.read_text()
+        assert "# TYPE repro_harness_experiments_total counter" in text
+        # The experiment span rides along as a histogram.
+        assert 'le="+Inf"' in text
+
+
+class TestEventsOutput:
+    def test_jsonl_parses_with_lifecycle(self, telemetry_run):
+        _, _, events_path = telemetry_run
+        records = read_events(str(events_path))
+        kinds = [r["event"] for r in records]
+        assert kinds[0] == "run_start"
+        assert kinds[-1] == "run_end"
+        assert "experiment_start" in kinds
+        assert "experiment_end" in kinds
+
+    def test_experiment_end_carries_duration(self, telemetry_run):
+        _, _, events_path = telemetry_run
+        (end,) = [
+            r for r in read_events(str(events_path))
+            if r["event"] == "experiment_end"
+        ]
+        assert end["experiment"] == "fig4"
+        assert end["scale"] == 0.05
+        assert end["seconds"] > 0
+        assert end["tables"] > 0
+
+
+class TestJSONExporterPath:
+    def test_json_extension_selects_json_snapshot(self, tmp_path):
+        metrics_path = tmp_path / "metrics.json"
+        # hwbudget touches no traces, so this is fast.
+        assert main(["hwbudget", "--metrics", str(metrics_path)]) == 0
+        payload = json.loads(metrics_path.read_text())
+        assert payload["format"] == "repro.telemetry/v1"
+        names = [m["name"] for m in payload["metrics"]]
+        assert "repro_harness_experiments_total" in names
+
+    def test_classify_path_with_telemetry(self, tmp_path, capsys):
+        metrics_path = tmp_path / "classify.prom"
+        events_path = tmp_path / "classify.jsonl"
+        assert main([
+            "--classify", "gzip/p", "--scale", "0.05",
+            "--metrics", str(metrics_path),
+            "--events", str(events_path),
+        ]) == 0
+        records = read_events(str(events_path))
+        kinds = [r["event"] for r in records]
+        assert "classify_start" in kinds and "classify_end" in kinds
+        text = metrics_path.read_text()
+        assert "repro_span_classify_gzip_p_seconds" in text

@@ -1,0 +1,131 @@
+"""JSONL event log: schema, round-trip, lifecycle."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import EventLog, read_events
+
+
+def make_log(clock=None):
+    stream = io.StringIO()
+    kwargs = {"clock": clock} if clock is not None else {}
+    return EventLog(stream=stream, **kwargs), stream
+
+
+class TestEmit:
+    def test_envelope_fields_present(self):
+        log, stream = make_log(clock=lambda: 123.456)
+        record = log.emit("interval", phase_id=3)
+        assert record["event"] == "interval"
+        assert record["seq"] == 0
+        assert record["ts"] == pytest.approx(123.456)
+        assert record["phase_id"] == 3
+        parsed = json.loads(stream.getvalue())
+        assert parsed == record
+
+    def test_seq_strictly_increases(self):
+        log, stream = make_log()
+        for _ in range(5):
+            log.emit("tick")
+        records = read_events(io.StringIO(stream.getvalue()))
+        assert [r["seq"] for r in records] == [0, 1, 2, 3, 4]
+        assert log.records_emitted == 5
+
+    def test_one_line_per_record(self):
+        log, stream = make_log()
+        log.emit("a", x=1)
+        log.emit("b", y=[1, 2, 3])
+        lines = stream.getvalue().strip().split("\n")
+        assert len(lines) == 2
+        assert all(json.loads(line) for line in lines)
+
+    def test_reserved_field_rejected(self):
+        log, _ = make_log()
+        for reserved in ("event", "seq", "ts"):
+            with pytest.raises(TelemetryError):
+                log.emit("x", **{reserved: 1})
+
+    def test_empty_event_type_rejected(self):
+        log, _ = make_log()
+        with pytest.raises(TelemetryError):
+            log.emit("")
+
+    def test_numpy_scalars_serialized(self):
+        log, stream = make_log()
+        log.emit("interval", phase_id=np.int64(7), cpi=np.float64(1.5))
+        record = json.loads(stream.getvalue())
+        assert record["phase_id"] == 7
+        assert record["cpi"] == 1.5
+
+    def test_closed_log_rejects_emits(self):
+        log, _ = make_log()
+        log.close()
+        assert log.closed
+        with pytest.raises(TelemetryError):
+            log.emit("late")
+
+    def test_needs_exactly_one_sink(self):
+        with pytest.raises(TelemetryError):
+            EventLog()
+        with pytest.raises(TelemetryError):
+            EventLog(path="x", stream=io.StringIO())
+
+
+class TestFileRoundTrip:
+    def test_path_round_trip(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        with EventLog(path=path) as log:
+            log.emit("run_start", experiments=["fig4"], scale=0.05)
+            log.emit("interval", interval=0, phase_id=0,
+                     is_transition=True, table_occupancy=1)
+            log.emit("run_end")
+        records = read_events(path)
+        assert [r["event"] for r in records] == [
+            "run_start", "interval", "run_end",
+        ]
+        assert records[1]["is_transition"] is True
+
+    def test_interval_schema_round_trip(self):
+        """The fields the tracker emits survive a JSONL round trip."""
+        log, stream = make_log()
+        payload = dict(
+            interval=12, phase_id=3, is_transition=False,
+            phase_changed=True, new_phase_allocated=False,
+            predicted_next_phase=None, prediction_confident=False,
+            predicted_length_class=1, table_occupancy=9,
+            threshold_halvings=2, cpi=1.25, branches=1003,
+        )
+        log.emit("interval", **payload)
+        (record,) = read_events(io.StringIO(stream.getvalue()))
+        for key, expected in payload.items():
+            assert record[key] == expected
+
+
+class TestReadValidation:
+    def test_invalid_json_rejected(self):
+        with pytest.raises(TelemetryError):
+            read_events(["{not json"])
+
+    def test_non_object_rejected(self):
+        with pytest.raises(TelemetryError):
+            read_events(["[1,2,3]"])
+
+    def test_missing_envelope_rejected(self):
+        with pytest.raises(TelemetryError):
+            read_events(['{"event": "x", "seq": 0}'])
+
+    def test_non_increasing_seq_rejected(self):
+        lines = [
+            '{"event": "a", "seq": 1, "ts": 0}',
+            '{"event": "b", "seq": 1, "ts": 0}',
+        ]
+        with pytest.raises(TelemetryError):
+            read_events(lines)
+
+    def test_blank_lines_skipped(self):
+        lines = ['{"event": "a", "seq": 0, "ts": 0}', "", "  "]
+        assert len(read_events(lines)) == 1

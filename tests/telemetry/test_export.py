@@ -1,0 +1,136 @@
+"""Exporters: Prometheus text rendering, JSON snapshots, the hub."""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import (
+    EventLog,
+    JSONExporter,
+    MetricsRegistry,
+    PrometheusExporter,
+    Telemetry,
+    exporter_for,
+    parse_prometheus_text,
+    read_events,
+)
+
+
+def populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("requests_total", "Requests served").inc(42)
+    registry.gauge("occupancy", "Table entries").set(7.5)
+    histogram = registry.histogram(
+        "latency_seconds", "Latency", start=1.0, factor=2.0, count=3
+    )
+    for value in (0.5, 1.5, 99.0):
+        histogram.observe(value)
+    return registry
+
+
+class TestPrometheus:
+    def test_counter_and_gauge_lines(self):
+        text = PrometheusExporter().render(populated_registry())
+        assert "# HELP requests_total Requests served" in text
+        assert "# TYPE requests_total counter" in text
+        assert "\nrequests_total 42\n" in text
+        assert "# TYPE occupancy gauge" in text
+        assert "\noccupancy 7.5\n" in text
+
+    def test_histogram_cumulative_buckets(self):
+        text = PrometheusExporter().render(populated_registry())
+        assert 'latency_seconds_bucket{le="1"} 1' in text
+        assert 'latency_seconds_bucket{le="2"} 2' in text
+        assert 'latency_seconds_bucket{le="4"} 2' in text
+        assert 'latency_seconds_bucket{le="+Inf"} 3' in text
+        assert "latency_seconds_sum 101" in text
+        assert "latency_seconds_count 3" in text
+
+    def test_round_trip_through_parser(self):
+        text = PrometheusExporter().render(populated_registry())
+        samples = parse_prometheus_text(text)
+        assert samples["requests_total"] == 42
+        assert samples["occupancy"] == 7.5
+        assert samples['latency_seconds_bucket{le="+Inf"}'] == 3
+
+    def test_empty_registry_renders_empty(self):
+        assert PrometheusExporter().render(MetricsRegistry()) == ""
+
+    def test_parser_rejects_garbage(self):
+        with pytest.raises(TelemetryError):
+            parse_prometheus_text("one_token_only")
+
+
+class TestJSON:
+    def test_snapshot_shape(self):
+        payload = json.loads(JSONExporter().render(populated_registry()))
+        assert payload["format"] == "repro.telemetry/v1"
+        by_name = {m["name"]: m for m in payload["metrics"]}
+        assert by_name["requests_total"]["value"] == 42
+        assert by_name["latency_seconds"]["count"] == 3
+        assert len(by_name["latency_seconds"]["counts"]) == 4  # +overflow
+
+
+class TestSelection:
+    def test_explicit_format_wins(self):
+        assert isinstance(
+            exporter_for(format="json", path="x.prom"), JSONExporter
+        )
+
+    def test_path_extension_selects(self):
+        assert isinstance(exporter_for(path="out.json"), JSONExporter)
+        assert isinstance(exporter_for(path="out.prom"), PrometheusExporter)
+        assert isinstance(exporter_for(), PrometheusExporter)
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(TelemetryError):
+            exporter_for(format="xml")
+
+
+class TestTelemetryHub:
+    def test_shortcuts_share_registry(self):
+        telemetry = Telemetry()
+        telemetry.counter("a_total").inc()
+        assert telemetry.metrics.get("a_total").value == 1
+
+    def test_emit_without_sink_is_noop(self):
+        Telemetry().emit("whatever", x=1)  # must not raise
+
+    def test_emit_with_sink_writes(self):
+        stream = io.StringIO()
+        telemetry = Telemetry(events=EventLog(stream=stream))
+        telemetry.emit("hello", n=1)
+        (record,) = read_events(io.StringIO(stream.getvalue()))
+        assert record["event"] == "hello"
+
+    def test_render_metrics_formats(self):
+        telemetry = Telemetry()
+        telemetry.counter("a_total").inc(2)
+        assert "a_total 2" in telemetry.render_metrics()
+        assert json.loads(telemetry.render_metrics(format="json"))
+
+    def test_to_files_writes_on_close(self, tmp_path):
+        metrics_path = str(tmp_path / "out.prom")
+        events_path = str(tmp_path / "out.jsonl")
+        telemetry = Telemetry.to_files(
+            metrics_path=metrics_path, events_path=events_path
+        )
+        telemetry.counter("done_total").inc()
+        telemetry.emit("lifecycle")
+        telemetry.close()
+        telemetry.close()  # idempotent
+        assert parse_prometheus_text(
+            open(metrics_path).read()
+        )["done_total"] == 1
+        assert read_events(events_path)[0]["event"] == "lifecycle"
+        # Post-close emits are swallowed by the hub, not an error.
+        telemetry.emit("late")
+
+    def test_span_timings_passthrough(self):
+        telemetry = Telemetry()
+        with telemetry.span("outer"):
+            with telemetry.span("inner"):
+                pass
+        assert "outer/inner" in telemetry.span_timings()

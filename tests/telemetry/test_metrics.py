@@ -1,0 +1,142 @@
+"""Counter/gauge/histogram semantics and registry behaviour."""
+
+import threading
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("requests_total")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+
+    def test_negative_increment_rejected(self):
+        counter = Counter("requests_total")
+        with pytest.raises(TelemetryError):
+            counter.inc(-1)
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(TelemetryError):
+            Counter("bad name with spaces")
+        with pytest.raises(TelemetryError):
+            Counter("0starts_with_digit")
+
+    def test_snapshot(self):
+        counter = Counter("x_total", help="things")
+        counter.inc(3)
+        snap = counter.snapshot()
+        assert snap == {
+            "name": "x_total", "type": "counter", "help": "things",
+            "value": 3.0,
+        }
+
+    def test_concurrent_increments_exact(self):
+        counter = Counter("racy_total")
+
+        def hammer():
+            for _ in range(10_000):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 80_000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("occupancy")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12
+
+    def test_snapshot_type(self):
+        assert Gauge("g").snapshot()["type"] == "gauge"
+
+
+class TestHistogram:
+    def test_log_scale_bounds(self):
+        histogram = Histogram("h", start=1.0, factor=2.0, count=4)
+        assert histogram.bounds == (1.0, 2.0, 4.0, 8.0)
+
+    def test_bucket_placement(self):
+        histogram = Histogram("h", start=1.0, factor=2.0, count=4)
+        for value in (0.5, 1.0, 3.0, 8.0, 100.0):
+            histogram.observe(value)
+        # 0.5 and 1.0 -> le=1; 3.0 -> le=4; 8.0 -> le=8; 100 -> overflow.
+        assert histogram.bucket_counts() == [2, 0, 1, 1, 1]
+        assert histogram.count == 5
+        assert histogram.sum == pytest.approx(112.5)
+        assert histogram.mean == pytest.approx(22.5)
+
+    def test_cumulative_buckets_monotone_and_end_at_count(self):
+        histogram = Histogram("h", start=1.0, factor=2.0, count=4)
+        for value in (0.5, 3.0, 999.0):
+            histogram.observe(value)
+        pairs = histogram.cumulative_buckets()
+        counts = [count for _, count in pairs]
+        assert counts == sorted(counts)
+        assert pairs[-1] == (float("inf"), 3)
+
+    def test_min_max_tracked(self):
+        histogram = Histogram("h")
+        histogram.observe(2e-6)
+        histogram.observe(5e-3)
+        snap = histogram.snapshot()
+        assert snap["min"] == pytest.approx(2e-6)
+        assert snap["max"] == pytest.approx(5e-3)
+
+    def test_empty_snapshot_has_null_extrema(self):
+        snap = Histogram("h").snapshot()
+        assert snap["count"] == 0
+        assert snap["min"] is None and snap["max"] is None
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(TelemetryError):
+            Histogram("h", start=0.0)
+        with pytest.raises(TelemetryError):
+            Histogram("h", factor=1.0)
+        with pytest.raises(TelemetryError):
+            Histogram("h", count=0)
+
+
+class TestRegistry:
+    def test_get_or_create_shares_instance(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits_total")
+        b = registry.counter("hits_total")
+        assert a is b
+        a.inc()
+        assert b.value == 1
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("thing")
+        with pytest.raises(TelemetryError):
+            registry.gauge("thing")
+
+    def test_snapshot_preserves_registration_order(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total")
+        registry.gauge("a")
+        registry.histogram("c_seconds")
+        names = [snap["name"] for snap in registry.snapshot()]
+        assert names == ["b_total", "a", "c_seconds"]
+
+    def test_membership_and_len(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        assert "x_total" in registry
+        assert "y" not in registry
+        assert len(registry) == 1
+        assert registry.get("x_total").value == 0
+        assert registry.get("y") is None

@@ -1,0 +1,106 @@
+"""Span timing, parent/child nesting, and aggregation."""
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import MetricsRegistry, Tracer
+
+
+class FakeClock:
+    """Deterministic clock: each read advances by ``step`` seconds."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestNesting:
+    def test_child_paths_are_slash_joined(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("interval"):
+            with tracer.span("classify"):
+                pass
+            with tracer.span("predict"):
+                pass
+        assert set(tracer.timings()) == {
+            "interval", "interval/classify", "interval/predict",
+        }
+
+    def test_same_name_under_different_parents_kept_apart(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("a"):
+            with tracer.span("step"):
+                pass
+        with tracer.span("b"):
+            with tracer.span("step"):
+                pass
+        assert "a/step" in tracer.timings()
+        assert "b/step" in tracer.timings()
+
+    def test_depth_tracks_open_spans(self):
+        tracer = Tracer(clock=FakeClock())
+        assert tracer.active_depth == 0
+        with tracer.span("outer"):
+            assert tracer.active_depth == 1
+            with tracer.span("inner"):
+                assert tracer.active_depth == 2
+        assert tracer.active_depth == 0
+
+    def test_span_single_use(self):
+        tracer = Tracer(clock=FakeClock())
+        span = tracer.span("once")
+        with span:
+            pass
+        with pytest.raises(TelemetryError):
+            span.__enter__()
+
+    def test_exception_still_recorded_and_propagated(self):
+        tracer = Tracer(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with tracer.span("faulty"):
+                raise RuntimeError("boom")
+        assert tracer.timings()["faulty"].count == 1
+        assert tracer.active_depth == 0
+
+
+class TestAggregation:
+    def test_stats_with_deterministic_clock(self):
+        # Each clock read advances 1s; a span reads the clock twice,
+        # so every span measures exactly 1s... unless a nested span
+        # consumes reads in between.
+        tracer = Tracer(clock=FakeClock(step=1.0))
+        for _ in range(3):
+            with tracer.span("work"):
+                pass
+        stats = tracer.timings()["work"]
+        assert stats.count == 3
+        assert stats.total_seconds == pytest.approx(3.0)
+        assert stats.min_seconds == pytest.approx(1.0)
+        assert stats.max_seconds == pytest.approx(1.0)
+        assert stats.mean_seconds == pytest.approx(1.0)
+
+    def test_registry_histograms_fed_per_path(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry=registry, clock=FakeClock(step=1e-4))
+        with tracer.span("interval"):
+            with tracer.span("classify"):
+                pass
+        assert "repro_span_interval_seconds" in registry
+        histogram = registry.get("repro_span_interval_classify_seconds")
+        assert histogram is not None
+        assert histogram.count == 1
+
+    def test_no_registry_means_no_histograms(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("solo"):
+            pass
+        assert tracer.timings()["solo"].count == 1
+
+    def test_empty_span_name_rejected(self):
+        with pytest.raises(TelemetryError):
+            Tracer(clock=FakeClock()).span("")
