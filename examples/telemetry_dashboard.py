@@ -133,7 +133,7 @@ def main() -> None:
     for record in interesting[-8:]:
         if record["event"] == "interval":
             print(f"  seq {record['seq']:5d}  interval "
-                  f"{record['interval']:4d} -> phase "
+                  f"{record['interval_index']:4d} -> phase "
                   f"{record['phase_id']}"
                   f"{' (transition)' if record['is_transition'] else ''}"
                   f"  occupancy {record['table_occupancy']}")

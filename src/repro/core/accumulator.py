@@ -125,6 +125,31 @@ class AccumulatorTable:
         self._counters.fill(0)
         self._total = 0
 
+    # -- snapshot hooks -------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """JSON-safe mid-interval state (counters and running total)."""
+        return {
+            "counters": [int(v) for v in self._counters],
+            "total": self._total,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`export_state`.
+
+        The table geometry (``num_counters``, ``counter_bits``) is not
+        part of the state; the caller reconstructs the table from its
+        configuration first.
+        """
+        counters = np.asarray(state["counters"], dtype=np.int64)
+        if counters.shape != self._counters.shape:
+            raise ConfigurationError(
+                f"snapshot has {counters.size} counters, table has "
+                f"{self.num_counters}"
+            )
+        self._counters = counters.copy()
+        self._total = int(state["total"])
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"AccumulatorTable(n={self.num_counters}, "

@@ -26,6 +26,7 @@ The classifier is driven interval by interval
 
 from __future__ import annotations
 
+from dataclasses import asdict
 from typing import List, Optional
 
 import numpy as np
@@ -41,6 +42,7 @@ from repro.core.distance import Normalizer, sum_normalizer
 from repro.core.events import ClassificationResult, ClassificationRun
 from repro.core.signature import Signature
 from repro.core.signature_table import SignatureTable, TableEntry
+from repro.errors import ConfigurationError
 from repro.workloads.trace import Interval, IntervalTrace
 
 
@@ -187,6 +189,48 @@ class PhaseClassifier:
         )
 
     # -- maintenance ----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Return to the just-constructed state without rebuilding the
+        accumulator, table or bit-selector objects (session recycling)."""
+        self.accumulator.clear()
+        self.table.clear()
+        self._next_phase_id = TRANSITION_PHASE_ID + 1
+        self.phases_allocated = 0
+
+    # -- snapshot hooks -------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """JSON-safe full classifier state.
+
+        The configuration travels with the state so a restored
+        classifier is self-describing; the bit selector is stateless
+        and rebuilt from the configuration.
+        """
+        return {
+            "config": asdict(self.config),
+            "next_phase_id": self._next_phase_id,
+            "phases_allocated": self.phases_allocated,
+            "accumulator": self.accumulator.export_state(),
+            "table": self.table.export_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`export_state`.
+
+        The classifier must have been constructed with the same
+        configuration the state was exported under.
+        """
+        exported = ClassifierConfig(**state["config"])
+        if exported != self.config:
+            raise ConfigurationError(
+                "snapshot was exported under a different classifier "
+                f"configuration: {exported} vs {self.config}"
+            )
+        self._next_phase_id = int(state["next_phase_id"])
+        self.phases_allocated = int(state["phases_allocated"])
+        self.accumulator.restore_state(state["accumulator"])
+        self.table.restore_state(state["table"])
 
     def notify_reconfiguration(self) -> None:
         """Flush all CPI feedback state (paper §4.6: an optimization that

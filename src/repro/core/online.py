@@ -35,6 +35,8 @@ import logging
 from dataclasses import asdict, dataclass
 from typing import Callable, List, Optional, TYPE_CHECKING
 
+import numpy as np
+
 from repro.core.classifier import PhaseClassifier
 from repro.core.config import ClassifierConfig, TRANSITION_PHASE_ID
 from repro.core.events import ClassificationResult
@@ -66,6 +68,24 @@ class TrackerReport:
     predicted_next_phase: Optional[int]
     prediction_confident: bool
     predicted_length_class: Optional[int]
+
+    def to_dict(self) -> dict:
+        """The report's wire format: plain JSON-safe field/value pairs.
+
+        This is the single serializer every consumer shares — telemetry
+        ``interval`` events and the service protocol's interval pushes
+        both carry exactly these keys.
+        """
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TrackerReport":
+        """Rebuild a report from its :meth:`to_dict` form."""
+        return cls(**{name: payload[name] for name in (
+            "interval_index", "phase_id", "is_transition", "phase_changed",
+            "new_phase_allocated", "predicted_next_phase",
+            "prediction_confident", "predicted_length_class",
+        )})
 
 
 #: Listener signature for phase-change notifications.
@@ -244,6 +264,64 @@ class PhaseTracker:
             self._boundary_pending = True
         return self._boundary_pending
 
+    def observe_batch(
+        self, pcs, counts, cpi: float = 1.0
+    ) -> List[TrackerReport]:
+        """Ingest many committed branches at once, closing every interval
+        boundary the batch crosses.
+
+        Behaviourally identical to calling :meth:`observe_branch` per
+        record and :meth:`complete_interval` at each boundary (the
+        accumulator's saturating adds commute with batching), but the
+        per-interval segments are ingested vectorized — this is the
+        service's batched-ingest fast path. ``cpi`` is attributed to
+        every interval the batch completes. Returns the boundary
+        reports, oldest first; the batch never ends boundary-pending.
+        """
+        if self._boundary_pending:
+            raise PredictionError(
+                "interval boundary reached; call complete_interval(cpi) "
+                "before observing more branches"
+            )
+        pcs = np.asarray(pcs, dtype=np.int64)
+        counts = np.asarray(counts, dtype=np.int64)
+        if pcs.shape != counts.shape or pcs.ndim != 1:
+            raise PredictionError(
+                "pcs and counts must be parallel 1-D arrays: "
+                f"{pcs.shape} vs {counts.shape}"
+            )
+        if pcs.size == 0:
+            return []
+        if np.any(counts < 0):
+            raise ValueError("instruction counts must be non-negative")
+
+        accumulator = self.classifier.accumulator
+        prefix = np.cumsum(counts)
+        reports: List[TrackerReport] = []
+        start = 0
+        consumed = 0
+        total = pcs.size
+        while start < total:
+            needed = self.interval_instructions - self._instructions
+            boundary = int(
+                np.searchsorted(prefix, consumed + needed, side="left")
+            )
+            if boundary >= total:
+                accumulator.update_batch(pcs[start:], counts[start:])
+                self._instructions += int(prefix[-1]) - consumed
+                self._branches_in_interval += total - start
+                break
+            accumulator.update_batch(
+                pcs[start:boundary + 1], counts[start:boundary + 1]
+            )
+            self._instructions += int(prefix[boundary]) - consumed
+            self._branches_in_interval += boundary + 1 - start
+            self._boundary_pending = True
+            reports.append(self.complete_interval(cpi))
+            consumed = int(prefix[boundary])
+            start = boundary + 1
+        return reports
+
     def complete_interval(self, cpi: float) -> TrackerReport:
         """Close the current interval: classify, predict, notify."""
         if not self._boundary_pending and self._instructions == 0:
@@ -312,6 +390,79 @@ class PhaseTracker:
         if phase_changed:
             self._notify_listeners(report)
         return report
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Return to a freshly constructed tracker's state in place.
+
+        Clears the classifier (accumulator, signature table, phase-ID
+        allocation), both predictors, interval bookkeeping and the
+        registered listeners — without reconstructing any of those
+        objects, so a session pool can recycle trackers cheaply. A
+        reset tracker produces the same classification stream as a new
+        one built with the same configuration. An attached telemetry
+        hub stays attached; its cumulative counters are not rewound.
+        """
+        self.classifier.reset()
+        self.next_phase.reset()
+        self.length_predictor.reset()
+        self._instructions = 0
+        self._boundary_pending = False
+        self._interval_index = 0
+        self._previous_phase = None
+        self._branches_in_interval = 0
+        self._listeners.clear()
+        if self._telemetry is not None:
+            self._evictions_seen = 0
+            self._last_prediction = None
+            self._observe_window_start = None
+
+    # -- snapshot hooks --------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """JSON-safe full tracker state (see :mod:`repro.service.snapshot`
+        for the versioned envelope and the restore entry point).
+
+        Captures everything replay-relevant: classifier tables and
+        mid-interval accumulator contents, both predictors, and the
+        interval bookkeeping. Listeners and telemetry are runtime
+        wiring and are not part of the state.
+        """
+        change = self.next_phase.change_predictor
+        return {
+            "interval_instructions": self.interval_instructions,
+            "instructions": self._instructions,
+            "boundary_pending": self._boundary_pending,
+            "interval_index": self._interval_index,
+            "previous_phase": self._previous_phase,
+            "branches_in_interval": self._branches_in_interval,
+            "classifier": self.classifier.export_state(),
+            "change_predictor": (
+                {"kind": change.snapshot_kind,
+                 "kwargs": change.snapshot_kwargs()}
+                if change is not None else None
+            ),
+            "next_phase": self.next_phase.export_state(),
+            "length_predictor": self.length_predictor.export_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`export_state` onto a tracker
+        constructed with the same configuration and predictor setup."""
+        self.interval_instructions = int(state["interval_instructions"])
+        self._instructions = int(state["instructions"])
+        self._boundary_pending = bool(state["boundary_pending"])
+        self._interval_index = int(state["interval_index"])
+        self._previous_phase = state["previous_phase"]
+        self._branches_in_interval = int(state["branches_in_interval"])
+        self.classifier.restore_state(state["classifier"])
+        self.next_phase.restore_state(state["next_phase"])
+        self.length_predictor.restore_state(state["length_predictor"])
+        if self._telemetry is not None:
+            # Restored table evictions predate this telemetry session;
+            # don't re-count them at the next boundary.
+            self._evictions_seen = self.classifier.table.evictions
 
     # -- interval stages ------------------------------------------------------
 
@@ -386,14 +537,7 @@ class PhaseTracker:
 
         telemetry.emit(
             "interval",
-            interval=report.interval_index,
-            phase_id=report.phase_id,
-            is_transition=report.is_transition,
-            phase_changed=report.phase_changed,
-            new_phase_allocated=report.new_phase_allocated,
-            predicted_next_phase=report.predicted_next_phase,
-            prediction_confident=report.prediction_confident,
-            predicted_length_class=report.predicted_length_class,
+            **report.to_dict(),
             table_occupancy=len(self.classifier.table),
             threshold_halvings=int(self._m_halvings.value),
             cpi=cpi,

@@ -198,3 +198,53 @@ class SignatureTable:
         reconfiguration changes the program's CPI)."""
         for entry in self._entries:
             entry.clear_cpi_stats()
+
+    def clear(self) -> None:
+        """Drop every entry and reset LRU/eviction bookkeeping, leaving
+        capacity, threshold and normalizer configuration in place."""
+        self._entries.clear()
+        self._invalidate_matrix()
+        self._clock = 0
+        self.evictions = 0
+
+    # -- snapshot hooks -------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """JSON-safe full table state (entries, LRU clock, evictions)."""
+        return {
+            "clock": self._clock,
+            "evictions": self.evictions,
+            "entries": [
+                {
+                    "values": [int(v) for v in entry.signature.values],
+                    "bits": entry.signature.bits,
+                    "threshold": entry.similarity_threshold,
+                    "phase_id": entry.phase_id,
+                    "min_counter": entry.min_counter,
+                    "last_used": entry.last_used,
+                    "cpi_count": entry.cpi_count,
+                    "cpi_mean": entry.cpi_mean,
+                }
+                for entry in self._entries
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`export_state`, replacing any
+        current contents. Capacity/threshold configuration is the
+        caller's responsibility (rebuilt from the classifier config)."""
+        self._entries = [
+            TableEntry(
+                signature=Signature(record["values"], bits=record["bits"]),
+                similarity_threshold=float(record["threshold"]),
+                phase_id=record["phase_id"],
+                min_counter=int(record["min_counter"]),
+                last_used=int(record["last_used"]),
+                cpi_count=int(record["cpi_count"]),
+                cpi_mean=float(record["cpi_mean"]),
+            )
+            for record in state["entries"]
+        ]
+        self._invalidate_matrix()
+        self._clock = int(state["clock"])
+        self.evictions = int(state["evictions"])

@@ -50,3 +50,58 @@ class TelemetryError(ReproError):
     different kinds, an invalid metric name, or exporting with an
     unknown format.
     """
+
+
+class ServiceError(ReproError):
+    """Base class for the phase-classification service layer.
+
+    Splits into two families a caller must treat differently:
+    *application* errors the server reported (a subclass per protocol
+    error code — the request reached the service and was refused) and
+    :class:`ServiceTransportError` (the request may never have arrived).
+    """
+
+
+class ProtocolError(ServiceError):
+    """A message violated the newline-delimited-JSON wire protocol.
+
+    Raised server-side for malformed or unknown requests, and
+    client-side when a response cannot be decoded.
+    """
+
+
+class SessionNotFoundError(ServiceError):
+    """The named session does not exist (never opened, closed, evicted
+    by the LRU cap, or expired by the idle TTL)."""
+
+
+class SessionExistsError(ServiceError):
+    """An ``open`` request named a session that is already live."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Admission control refused the request: the session table is at
+    capacity (and LRU eviction is disabled) or an ingest limit was hit.
+
+    Transient by design — the client may retry after backoff once load
+    subsides.
+    """
+
+
+class ServiceUnavailableError(ServiceError):
+    """The service is draining for shutdown and no longer admits new
+    requests; queued work is still being classified."""
+
+
+class SnapshotError(ServiceError):
+    """A tracker snapshot document is malformed, of an unsupported
+    version, or inconsistent with the classifier configuration."""
+
+
+class ServiceTransportError(ServiceError):
+    """The client could not complete the exchange (connect failure,
+    timeout, or a connection dropped mid-request).
+
+    Unlike the application errors above, a transport failure leaves the
+    request's fate unknown: it may or may not have been processed.
+    """

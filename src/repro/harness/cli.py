@@ -6,6 +6,10 @@ Regenerates the paper's tables and figures as plain-text tables::
     repro-phases fig4 fig8           # a subset
     repro-phases --scale 0.25 fig2   # quarter-length runs (fast)
     repro-phases --list              # show available experiments
+
+and hosts the streaming classification service::
+
+    repro-phases serve --port 9137   # NDJSON phase service (Ctrl-C drains)
 """
 
 from __future__ import annotations
@@ -24,6 +28,10 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Reproduce the tables/figures of 'Transition Phase "
             "Classification and Prediction' (HPCA 2005)."
+        ),
+        epilog=(
+            "Use 'repro-phases serve --help' for the streaming "
+            "phase-classification service."
         ),
     )
     parser.add_argument(
@@ -81,6 +89,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return _serve_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
     available = experiment_names()
     if args.list:
@@ -164,6 +176,118 @@ def _finalize_telemetry(args, telemetry) -> None:
         print(f"[metrics written to {args.metrics}]")
     if args.events is not None:
         print(f"[events written to {args.events}]")
+
+
+def _serve_main(argv: List[str]) -> int:
+    """The ``repro-phases serve`` subcommand: run the NDJSON phase
+    service until SIGINT/SIGTERM, then drain gracefully."""
+    parser = argparse.ArgumentParser(
+        prog="repro-phases serve",
+        description=(
+            "Host the streaming phase-classification service: NDJSON "
+            "over TCP, many concurrent tracker sessions, snapshots, "
+            "and backpressure. Ctrl-C drains in-flight work before "
+            "exiting."
+        ),
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    parser.add_argument(
+        "--port", type=int, default=9137,
+        help="TCP port (0 picks a free one; default 9137)",
+    )
+    parser.add_argument(
+        "--max-sessions", type=int, default=64,
+        help="live tracker-session cap (default 64)",
+    )
+    parser.add_argument(
+        "--idle-ttl", type=float, default=None,
+        help="drop sessions idle for this many seconds (default: never)",
+    )
+    parser.add_argument(
+        "--no-evict", action="store_true",
+        help="refuse opens when full instead of evicting the LRU session",
+    )
+    parser.add_argument(
+        "--max-connections", type=int, default=64,
+        help="concurrent client-connection cap (default 64)",
+    )
+    parser.add_argument(
+        "--queue-size", type=int, default=32,
+        help="per-connection ingest queue depth — the backpressure "
+        "bound (default 32)",
+    )
+    parser.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="write a telemetry metrics snapshot to PATH at exit",
+    )
+    parser.add_argument(
+        "--events", metavar="PATH", default=None,
+        help="stream JSONL telemetry events to PATH while serving",
+    )
+    args = parser.parse_args(argv)
+
+    import asyncio
+    import signal
+
+    from repro.service import PhaseService
+
+    telemetry = None
+    if args.metrics is not None or args.events is not None:
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry.to_files(
+            metrics_path=args.metrics, events_path=args.events
+        )
+
+    service = PhaseService(
+        host=args.host,
+        port=args.port,
+        max_sessions=args.max_sessions,
+        idle_ttl=args.idle_ttl,
+        evict_lru=not args.no_evict,
+        max_connections=args.max_connections,
+        queue_size=args.queue_size,
+        telemetry=telemetry,
+    )
+
+    async def _run() -> None:
+        await service.start()
+        loop = asyncio.get_event_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(
+                    signum,
+                    lambda: asyncio.ensure_future(
+                        service.shutdown(drain=True)
+                    ),
+                )
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        print(
+            f"repro-phases service listening on "
+            f"{service.host}:{service.port} "
+            f"(max {service.registry.max_sessions} sessions); "
+            f"Ctrl-C to drain and exit",
+            flush=True,
+        )
+        await service.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler race
+        pass
+    finally:
+        if telemetry is not None:
+            telemetry.emit("run_end")
+            telemetry.close()
+    print(
+        f"service drained cleanly: {service.requests_served} requests, "
+        f"{service.registry.sessions_opened} sessions",
+        flush=True,
+    )
+    return 0
 
 
 def _classify_report(name: str, scale: float, telemetry=None) -> int:

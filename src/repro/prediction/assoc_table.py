@@ -11,7 +11,15 @@ evaluate).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generic, Hashable, List, Optional, Tuple, TypeVar
+from typing import (
+    Callable,
+    Generic,
+    Hashable,
+    List,
+    Optional,
+    Tuple,
+    TypeVar,
+)
 
 from repro.errors import ConfigurationError
 
@@ -22,6 +30,18 @@ _HASH_SALT = 0x9E3779B9
 
 def _set_index(key: Hashable, num_sets: int) -> int:
     return (hash(key) ^ _HASH_SALT) % num_sets
+
+
+def tuple_key(obj: object) -> Hashable:
+    """Rebuild a predictor table key from its JSON form.
+
+    Predictor keys are nested tuples of ints and strings; JSON
+    round-trips tuples as lists, so restoring recursively converts
+    lists back to tuples.
+    """
+    if isinstance(obj, list):
+        return tuple(tuple_key(item) for item in obj)
+    return obj
 
 
 @dataclass
@@ -112,3 +132,73 @@ class AssociativeTable(Generic[P]):
         return [
             (way.key, way.payload) for ways in self._sets for way in ways
         ]
+
+    def clear(self) -> None:
+        """Drop every way and reset LRU/eviction bookkeeping, keeping
+        the table geometry."""
+        for ways in self._sets:
+            ways.clear()
+        self._clock = 0
+        self.insertions = 0
+        self.evictions = 0
+
+    # -- snapshot hooks -------------------------------------------------------
+
+    def export_state(
+        self, encode_payload: Callable[[P], object]
+    ) -> dict:
+        """JSON-safe table state.
+
+        Keys must themselves be JSON-representable (the predictors use
+        nested tuples of ints and strings; tuples round-trip as lists
+        and are rebuilt by the caller's key codec). ``encode_payload``
+        maps each stored payload to a JSON-safe object.
+        """
+        return {
+            "entries": self.entries,
+            "assoc": self.assoc,
+            "clock": self._clock,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "ways": [
+                [way.key, encode_payload(way.payload), way.last_used]
+                for ways in self._sets
+                for way in ways
+            ],
+        }
+
+    def restore_state(
+        self,
+        state: dict,
+        decode_payload: Callable[[object], P],
+        decode_key: Callable[[object], Hashable],
+    ) -> None:
+        """Restore state captured by :meth:`export_state`.
+
+        Ways are re-placed by recomputing each key's set index in this
+        process (``hash()`` of strings is per-process), preserving each
+        way's LRU stamp, so within-process round-trips are exact and
+        cross-process restores stay consistent.
+        """
+        if (
+            int(state["entries"]) != self.entries
+            or int(state["assoc"]) != self.assoc
+        ):
+            raise ConfigurationError(
+                "snapshot table geometry "
+                f"{state['entries']}/{state['assoc']} does not match "
+                f"{self.entries}/{self.assoc}"
+            )
+        self.clear()
+        self._clock = int(state["clock"])
+        self.insertions = int(state["insertions"])
+        self.evictions = int(state["evictions"])
+        for raw_key, raw_payload, last_used in state["ways"]:
+            key = decode_key(raw_key)
+            self._sets[_set_index(key, self.num_sets)].append(
+                _Way(
+                    key=key,
+                    payload=decode_payload(raw_payload),
+                    last_used=int(last_used),
+                )
+            )

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Hashable, List, Optional, Tuple
 
 from repro.errors import ConfigurationError, PredictionError
-from repro.prediction.assoc_table import AssociativeTable
+from repro.prediction.assoc_table import AssociativeTable, tuple_key
 from repro.prediction.counters import ConfidenceCounter
 
 ENTRY_KINDS = ("single", "last4", "top1", "top4")
@@ -72,6 +72,36 @@ class ChangeEntry:
         return tuple(
             outcome for outcome, _ in self._freq.most_common(count)
         )
+
+    # -- snapshot hooks -------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """JSON-safe entry state (outcome stores + confidence value)."""
+        return {
+            "last": self._last,
+            "recent": list(self._recent),
+            "freq": list(self._freq.items()),
+            "confidence": self.confidence.value,
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: dict, kind: str, confidence_bits: int
+    ) -> "ChangeEntry":
+        """Rebuild an entry from :meth:`export_state` output.
+
+        ``freq`` pairs are kept in the counter's insertion order, which
+        is what breaks ``most_common`` frequency ties — restoring in
+        the same order keeps top-N predictions byte-identical.
+        """
+        entry = cls(kind, confidence_bits)
+        entry._last = state["last"]
+        entry._recent = [int(v) for v in state["recent"]]
+        entry._freq = Counter(
+            {int(outcome): int(count) for outcome, count in state["freq"]}
+        )
+        entry.confidence.reset(int(state["confidence"]))
+        return entry
 
 
 @dataclass(frozen=True)
@@ -254,3 +284,53 @@ class ChangePredictorBase:
         if key is None:
             return
         self.table.remove(key)
+
+    # -- lifecycle / snapshot hooks -------------------------------------------
+
+    def reset(self) -> None:
+        """Forget all history and table contents, keeping configuration
+        (geometry, entry kind, confidence) in place."""
+        self.table.clear()
+        self._runs.clear()
+        self._current_phase = None
+        self._current_run = 0
+
+    def snapshot_kwargs(self) -> dict:
+        """Constructor kwargs identifying this predictor for snapshots.
+
+        Subclasses add their indexing parameter (``depth`` / ``order``)
+        on top of the shared geometry captured here.
+        """
+        return {
+            "entries": self.table.entries,
+            "assoc": self.table.assoc,
+            "entry_kind": self.entry_kind,
+            "use_confidence": self.use_confidence,
+        }
+
+    def export_state(self) -> dict:
+        """JSON-safe predictor state (history + prediction table)."""
+        return {
+            "runs": [[phase, length] for phase, length in self._runs],
+            "current_phase": self._current_phase,
+            "current_run": self._current_run,
+            "table": self.table.export_state(
+                lambda entry: entry.export_state()
+            ),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`export_state` onto a
+        predictor constructed with the same configuration."""
+        self._runs = [
+            (int(phase), int(length)) for phase, length in state["runs"]
+        ]
+        self._current_phase = state["current_phase"]
+        self._current_run = int(state["current_run"])
+        self.table.restore_state(
+            state["table"],
+            lambda raw: ChangeEntry.from_state(
+                raw, self.entry_kind, self.confidence_bits
+            ),
+            tuple_key,
+        )

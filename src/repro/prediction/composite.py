@@ -19,10 +19,11 @@ stacked categories of Figure 7.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterable, Optional
 
 from repro.errors import PredictionError
+from repro.prediction.assoc_table import tuple_key
 from repro.prediction.change_base import ChangePrediction, ChangePredictorBase
 from repro.prediction.last_value import LastValuePredictor
 
@@ -183,6 +184,70 @@ class CompositePhasePredictor:
         for phase_id in phase_ids:
             self.step(int(phase_id))
         return self.stats
+
+    @property
+    def pending_prediction(self) -> Optional[NextPhasePrediction]:
+        """The prediction awaiting evaluation at the next boundary —
+        what the predictor currently believes the next phase will be.
+        ``None`` before the first observed interval."""
+        return self._pending
+
+    # -- lifecycle / snapshot hooks -------------------------------------------
+
+    def reset(self) -> None:
+        """Forget all prediction state, keeping both component
+        predictors' configurations in place."""
+        if self.change_predictor is not None:
+            self.change_predictor.reset()
+        self.last_value.reset()
+        self.stats = NextPhaseStats()
+        self._pending = None
+        self._pending_key = None
+        self._seeded = False
+
+    def export_state(self) -> dict:
+        """JSON-safe full predictor state, pending prediction included
+        (it is evaluated — and trains the tables — at the next step)."""
+        return {
+            "change_predictor": (
+                self.change_predictor.export_state()
+                if self.change_predictor is not None
+                else None
+            ),
+            "last_value": self.last_value.export_state(),
+            "stats": dict(self.stats.counts),
+            "pending": (
+                asdict(self._pending) if self._pending is not None else None
+            ),
+            "pending_key": self._pending_key,
+            "seeded": self._seeded,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`export_state` onto a
+        predictor constructed with the same configuration."""
+        if (state["change_predictor"] is None) != (
+            self.change_predictor is None
+        ):
+            raise PredictionError(
+                "snapshot and predictor disagree on the presence of a "
+                "change predictor"
+            )
+        if self.change_predictor is not None:
+            self.change_predictor.restore_state(state["change_predictor"])
+        self.last_value.restore_state(state["last_value"])
+        self.stats = NextPhaseStats(
+            counts={
+                category: int(state["stats"].get(category, 0))
+                for category in CATEGORIES
+            }
+        )
+        pending = state["pending"]
+        self._pending = (
+            NextPhasePrediction(**pending) if pending is not None else None
+        )
+        self._pending_key = tuple_key(state["pending_key"])
+        self._seeded = bool(state["seeded"])
 
     # -- internals ----------------------------------------------------------
 

@@ -97,6 +97,38 @@ class LastValuePredictor:
     def current_phase(self) -> Optional[int]:
         return self._current
 
+    # -- lifecycle / snapshot hooks -------------------------------------------
+
+    def reset(self) -> None:
+        """Forget all per-phase confidence and the last value, keeping
+        the confidence-counter configuration."""
+        self._counters.clear()
+        self._current = None
+        self.predictions = 0
+        self.correct = 0
+
+    def export_state(self) -> dict:
+        """JSON-safe predictor state."""
+        return {
+            "counters": [
+                [phase, counter.value]
+                for phase, counter in self._counters.items()
+            ],
+            "current": self._current,
+            "predictions": self.predictions,
+            "correct": self.correct,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`export_state` onto a
+        predictor constructed with the same configuration."""
+        self.reset()
+        for phase, value in state["counters"]:
+            self._counter_for(int(phase)).reset(int(value))
+        self._current = state["current"]
+        self.predictions = int(state["predictions"])
+        self.correct = int(state["correct"])
+
     @property
     def accuracy(self) -> float:
         """Raw accuracy over all predictions made so far."""

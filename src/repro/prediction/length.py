@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
-from repro.prediction.assoc_table import AssociativeTable
+from repro.prediction.assoc_table import AssociativeTable, tuple_key
 
 #: Inclusive lower bounds of the four run-length classes (in intervals).
 LENGTH_CLASS_BOUNDS: Tuple[int, ...] = (1, 16, 128, 1024)
@@ -204,3 +204,78 @@ class PhaseLengthPredictor:
 
         self._current_phase = phase_id
         self._current_run = 1
+
+    # -- lifecycle / snapshot hooks -------------------------------------------
+
+    def reset(self) -> None:
+        """Forget all history, table contents and statistics, keeping
+        the depth/geometry configuration."""
+        self.table.clear()
+        self.stats = LengthPredictionStats()
+        self._class_histogram = [0] * len(LENGTH_CLASS_BOUNDS)
+        self._runs.clear()
+        self._current_phase = None
+        self._current_run = 0
+        self._outstanding = None
+
+    def export_state(self) -> dict:
+        """JSON-safe full predictor state."""
+        return {
+            "table": self.table.export_state(
+                lambda entry: [entry.predicted_class, entry.pending_class]
+            ),
+            "stats": {
+                "predictions": self.stats.predictions,
+                "correct": self.stats.correct,
+                "tag_misses": self.stats.tag_misses,
+                "confusion": [
+                    [predicted, actual, count]
+                    for (predicted, actual), count
+                    in self.stats.confusion.items()
+                ],
+            },
+            "class_histogram": list(self._class_histogram),
+            "runs": [[phase, length] for phase, length in self._runs],
+            "current_phase": self._current_phase,
+            "current_run": self._current_run,
+            "outstanding": (
+                [self._outstanding[0], self._outstanding[1]]
+                if self._outstanding is not None
+                else None
+            ),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`export_state` onto a
+        predictor constructed with the same configuration."""
+        self.table.restore_state(
+            state["table"],
+            lambda raw: _LengthEntry(
+                predicted_class=int(raw[0]),
+                pending_class=raw[1] if raw[1] is None else int(raw[1]),
+            ),
+            tuple_key,
+        )
+        stats = state["stats"]
+        self.stats = LengthPredictionStats(
+            predictions=int(stats["predictions"]),
+            correct=int(stats["correct"]),
+            tag_misses=int(stats["tag_misses"]),
+            confusion={
+                (int(predicted), int(actual)): int(count)
+                for predicted, actual, count in stats["confusion"]
+            },
+        )
+        self._class_histogram = [int(v) for v in state["class_histogram"]]
+        self._runs = [
+            (int(phase), int(length)) for phase, length in state["runs"]
+        ]
+        self._current_phase = state["current_phase"]
+        self._current_run = int(state["current_run"])
+        outstanding = state["outstanding"]
+        self._outstanding = (
+            (tuple_key(outstanding[0]),
+             None if outstanding[1] is None else int(outstanding[1]))
+            if outstanding is not None
+            else None
+        )

@@ -45,6 +45,14 @@ class MarkovChangePredictor(ChangePredictorBase):
         )
         self.order = order
 
+    #: Snapshot type tag (see :mod:`repro.service.snapshot`).
+    snapshot_kind = "markov"
+
+    def snapshot_kwargs(self) -> dict:
+        kwargs = super().snapshot_kwargs()
+        kwargs["order"] = self.order
+        return kwargs
+
     def _unique_history(
         self, include_current: bool
     ) -> Optional[Tuple[int, ...]]:

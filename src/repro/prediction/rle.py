@@ -47,6 +47,14 @@ class RLEChangePredictor(ChangePredictorBase):
         )
         self.depth = depth
 
+    #: Snapshot type tag (see :mod:`repro.service.snapshot`).
+    snapshot_kind = "rle"
+
+    def snapshot_kwargs(self) -> dict:
+        kwargs = super().snapshot_kwargs()
+        kwargs["depth"] = self.depth
+        return kwargs
+
     def _key_from_pairs(
         self, pairs: Tuple[Tuple[int, int], ...]
     ) -> Optional[Hashable]:

@@ -1,0 +1,608 @@
+"""The asyncio phase-classification server.
+
+One :class:`PhaseService` hosts a :class:`~repro.service.session.SessionRegistry`
+behind the NDJSON protocol (:mod:`repro.service.protocol`). Each TCP
+connection gets two tasks:
+
+- a **reader** that parses request lines into a *bounded*
+  ``asyncio.Queue``. When the worker falls behind, ``queue.put`` blocks
+  the reader, the socket stops being drained, and the kernel's TCP
+  receive window closes — backpressure reaches the client without any
+  explicit flow-control messages.
+- a **worker** that pops requests, executes them against the registry,
+  and writes interval pushes followed by the matching response. All
+  writes happen on the worker, so message order per connection is the
+  protocol order: pushes for an observe precede that observe's ack.
+
+Admission control: the session cap refuses/evicts at ``open`` (see the
+registry), a connection cap closes surplus sockets at accept, and during
+shutdown new requests are refused with ``shutting_down``.
+
+Graceful drain: :meth:`PhaseService.shutdown` (``drain=True``) stops
+accepting connections and new request lines, but every request already
+queued is still executed and its responses/pushes flushed before sockets
+close — no interval is lost or double-classified across a drain, which
+the test suite proves by snapshotting at shutdown and replaying.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.errors import (
+    ConfigurationError,
+    ProtocolError,
+    ReproError,
+    ServiceUnavailableError,
+)
+from repro.service import protocol
+from repro.service.session import Session, SessionRegistry
+from repro.service.snapshot import snapshot_tracker
+
+if TYPE_CHECKING:  # pragma: no cover - import-time typing only
+    from repro.telemetry import Telemetry
+
+
+class _Connection:
+    """Per-connection state: the socket pair, the bounded ingest queue,
+    and the reader/worker task pair."""
+
+    __slots__ = ("reader", "writer", "queue", "tasks", "peer")
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        queue_size: int,
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        # Items are ("request", Request), ("bad", id-or-None, error), or
+        # None (end of input). Bounded: this queue is the backpressure.
+        self.queue: "asyncio.Queue" = asyncio.Queue(maxsize=queue_size)
+        self.tasks: List["asyncio.Task"] = []
+        peer = writer.get_extra_info("peername")
+        self.peer = f"{peer[0]}:{peer[1]}" if peer else "?"
+
+
+class PhaseService:
+    """A streaming phase-classification service.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; ``port=0`` picks a free port, exposed as
+        :attr:`port` after :meth:`start`.
+    max_sessions, idle_ttl, evict_lru:
+        Session registry policy (see :class:`SessionRegistry`).
+    max_connections:
+        Concurrent-connection cap; surplus accepts are closed
+        immediately.
+    queue_size:
+        Per-connection ingest queue bound — the backpressure depth, in
+        requests.
+    sweep_interval:
+        Seconds between idle-session sweeps (only meaningful with an
+        ``idle_ttl``).
+    drain_timeout:
+        Upper bound, per connection, on waiting for queued work to
+        finish during a graceful shutdown — a stalled client cannot
+        wedge the drain.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` hub; the service
+        records request/error counters, ingest- and request-latency
+        histograms, connection/session gauges, and lifecycle events.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_sessions: int = 64,
+        idle_ttl: Optional[float] = None,
+        evict_lru: bool = True,
+        max_connections: int = 64,
+        queue_size: int = 32,
+        sweep_interval: float = 5.0,
+        drain_timeout: float = 30.0,
+        telemetry: "Optional[Telemetry]" = None,
+    ) -> None:
+        if max_connections <= 0:
+            raise ConfigurationError(
+                f"max_connections must be positive, got {max_connections}"
+            )
+        if queue_size <= 0:
+            raise ConfigurationError(
+                f"queue_size must be positive, got {queue_size}"
+            )
+        self.host = host
+        self.port = port
+        self.max_connections = max_connections
+        self.queue_size = queue_size
+        self.sweep_interval = sweep_interval
+        self.drain_timeout = drain_timeout
+        self.registry = SessionRegistry(
+            max_sessions=max_sessions,
+            idle_ttl=idle_ttl,
+            evict_lru=evict_lru,
+            telemetry=telemetry,
+        )
+        self.requests_served = 0
+        self.errors_returned = 0
+        self.connections_refused = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: Dict[int, _Connection] = {}
+        self._draining = False
+        self._stopped: Optional[asyncio.Event] = None
+        self._sweeper: Optional["asyncio.Task"] = None
+        self._telemetry = telemetry
+        if telemetry is not None:
+            self._m_requests = telemetry.counter(
+                "repro_service_requests_total",
+                "Requests executed by the service (including refusals)",
+            )
+            self._m_errors = telemetry.counter(
+                "repro_service_errors_total",
+                "Requests answered with an error response",
+            )
+            self._m_branches = telemetry.counter(
+                "repro_service_branches_total",
+                "Branch records ingested via observe",
+            )
+            self._m_intervals = telemetry.counter(
+                "repro_service_intervals_total",
+                "Interval reports pushed to clients",
+            )
+            self._h_request = telemetry.histogram(
+                "repro_service_request_seconds",
+                "Wall time to execute one request",
+            )
+            self._h_ingest = telemetry.histogram(
+                "repro_service_ingest_seconds",
+                "Mean per-branch ingest latency, one sample per observe",
+            )
+            self._g_connections = telemetry.gauge(
+                "repro_service_connections",
+                "Open client connections",
+            )
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        if self._server is not None:
+            raise ServiceUnavailableError("service is already started")
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.host,
+            self.port,
+            limit=protocol.MAX_LINE_BYTES,
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+        if self.idle_ttl_enabled:
+            self._sweeper = asyncio.ensure_future(self._sweep_idle())
+        if self._telemetry is not None:
+            self._telemetry.emit(
+                "service_start", host=self.host, port=self.port,
+                max_sessions=self.registry.max_sessions,
+            )
+
+    @property
+    def idle_ttl_enabled(self) -> bool:
+        return self.registry.idle_ttl is not None
+
+    async def serve_forever(self) -> None:
+        """Run until :meth:`shutdown` completes (from another task or a
+        signal handler)."""
+        if self._server is None:
+            await self.start()
+        assert self._stopped is not None
+        await self._stopped.wait()
+
+    async def shutdown(self, drain: bool = True) -> None:
+        """Stop the service.
+
+        With ``drain=True`` (the default): stop accepting connections,
+        stop reading new request lines, execute everything already
+        queued, flush all responses and interval pushes, then close the
+        sockets. With ``drain=False``: cancel everything immediately.
+        """
+        if self._server is None:
+            return
+        self._draining = True
+        server, self._server = self._server, None
+        server.close()
+        await server.wait_closed()
+        if self._sweeper is not None:
+            self._sweeper.cancel()
+            self._sweeper = None
+
+        connections = list(self._connections.values())
+        if drain:
+            # Stop the readers (no new requests), then let each worker
+            # finish its queue. The sentinel wakes idle workers; both
+            # waits are bounded so a stalled client cannot wedge the
+            # shutdown.
+            for connection in connections:
+                for task in connection.tasks[:1]:  # the reader
+                    task.cancel()
+            for connection in connections:
+                try:
+                    await asyncio.wait_for(
+                        connection.queue.put(None), self.drain_timeout
+                    )
+                except asyncio.TimeoutError:
+                    pass
+            for connection in connections:
+                for task in connection.tasks[1:]:  # the worker
+                    try:
+                        await asyncio.wait_for(
+                            asyncio.shield(task), self.drain_timeout
+                        )
+                    except (asyncio.CancelledError, Exception):
+                        pass
+        for connection in connections:
+            for task in connection.tasks:
+                task.cancel()
+            await self._close_connection(connection)
+        self._connections.clear()
+
+        closed = self.registry.close_all()
+        if self._telemetry is not None:
+            self._telemetry.emit(
+                "service_stop", drained=drain, sessions_closed=closed,
+                requests=self.requests_served,
+            )
+        if self._stopped is not None:
+            self._stopped.set()
+
+    async def _sweep_idle(self) -> None:
+        while True:
+            await asyncio.sleep(self.sweep_interval)
+            self.registry.expire_idle()
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        if self._draining or len(self._connections) >= self.max_connections:
+            # Admission control at the socket level: no request to
+            # answer yet, so refuse by closing.
+            self.connections_refused += 1
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except Exception:
+                pass
+            return
+        connection = _Connection(reader, writer, self.queue_size)
+        self._connections[id(connection)] = connection
+        if self._telemetry is not None:
+            self._g_connections.set(len(self._connections))
+        reader_task = asyncio.ensure_future(self._read_loop(connection))
+        worker_task = asyncio.ensure_future(self._work_loop(connection))
+        connection.tasks = [reader_task, worker_task]
+        try:
+            await worker_task
+        except asyncio.CancelledError:
+            pass
+        finally:
+            reader_task.cancel()
+            if self._connections.pop(id(connection), None) is not None:
+                await self._close_connection(connection)
+            if self._telemetry is not None:
+                self._g_connections.set(len(self._connections))
+
+    async def _close_connection(self, connection: _Connection) -> None:
+        try:
+            connection.writer.close()
+            await connection.writer.wait_closed()
+        except Exception:
+            pass
+
+    async def _read_loop(self, connection: _Connection) -> None:
+        """Parse request lines into the bounded queue (the await on
+        ``put`` is what backpressures the socket)."""
+        try:
+            while True:
+                try:
+                    line = await connection.reader.readline()
+                except (
+                    asyncio.LimitOverrunError, ValueError
+                ) as error:  # line longer than MAX_LINE_BYTES
+                    await connection.queue.put(
+                        ("bad", None, ProtocolError(
+                            f"request line exceeds the "
+                            f"{protocol.MAX_LINE_BYTES}-byte limit: {error}"
+                        ))
+                    )
+                    break
+                if not line:
+                    break  # EOF
+                if not line.strip():
+                    continue
+                try:
+                    request = protocol.parse_request(line)
+                except ProtocolError as error:
+                    request_id = _best_effort_id(line)
+                    await connection.queue.put(("bad", request_id, error))
+                    continue
+                if self._draining and not isinstance(
+                    request,
+                    (protocol.PingRequest, protocol.StatsRequest),
+                ):
+                    # Lines read after drain began: typed refusal, so
+                    # the client knows the work was NOT ingested.
+                    await connection.queue.put(("bad", request.id,
+                                                ServiceUnavailableError(
+                        "service is draining; no new work is accepted"
+                    )))
+                    continue
+                await connection.queue.put(("request", request))
+        except (asyncio.CancelledError, ConnectionError):
+            pass
+        finally:
+            # Unblock the worker even when cancelled mid-drain.
+            try:
+                connection.queue.put_nowait(None)
+            except asyncio.QueueFull:
+                pass
+
+    async def _work_loop(self, connection: _Connection) -> None:
+        """Execute queued requests; the only writer on this socket."""
+        while True:
+            item = await connection.queue.get()
+            if item is None:
+                break
+            started = time.perf_counter()
+            if item[0] == "bad":
+                _, request_id, error = item
+                payloads = [protocol.error_response(
+                    request_id if request_id is not None else -1,
+                    protocol.error_code_for(error),
+                    str(error),
+                )]
+                self.errors_returned += 1
+                if self._telemetry is not None:
+                    self._m_errors.inc()
+            else:
+                request = item[1]
+                payloads = self._execute(request)
+            self.requests_served += 1
+            if self._telemetry is not None:
+                self._m_requests.inc()
+                self._h_request.observe(time.perf_counter() - started)
+            try:
+                for payload in payloads:
+                    connection.writer.write(protocol.encode(payload))
+                await connection.writer.drain()
+            except (ConnectionError, RuntimeError):
+                break
+
+    # -- request execution -----------------------------------------------------
+
+    def _execute(self, request: protocol.Request) -> List[dict]:
+        """Run one request; returns the wire payloads to send, pushes
+        first, the response to ``request`` last."""
+        # Requests already queued when a drain begins are still
+        # executed — the drain guarantee — so there is deliberately no
+        # draining check here; refusal happens at the read loop.
+        try:
+            if isinstance(request, protocol.ObserveRequest):
+                return self._handle_observe(request)
+            return [protocol.ok_response(
+                request.id, self._handle_simple(request)
+            )]
+        except ReproError as error:
+            self.errors_returned += 1
+            if self._telemetry is not None:
+                self._m_errors.inc()
+            return [protocol.error_response(
+                request.id, protocol.error_code_for(error), str(error)
+            )]
+        except Exception as error:  # pragma: no cover - defensive
+            self.errors_returned += 1
+            if self._telemetry is not None:
+                self._m_errors.inc()
+            return [protocol.error_response(
+                request.id, "internal",
+                f"{type(error).__name__}: {error}",
+            )]
+
+    def _handle_simple(self, request: protocol.Request) -> dict:
+        if isinstance(request, protocol.PingRequest):
+            return {
+                "protocol": protocol.PROTOCOL_VERSION,
+                "draining": self._draining,
+            }
+        if isinstance(request, protocol.StatsRequest):
+            stats = dict(self.registry.stats())
+            stats.update(
+                requests=self.requests_served,
+                errors=self.errors_returned,
+                connections=len(self._connections),
+            )
+            return stats
+        if isinstance(request, protocol.OpenRequest):
+            session = self.registry.open(
+                name=request.session,
+                config=request.config,
+                interval_instructions=request.interval_instructions,
+                snapshot=request.snapshot,
+            )
+            return {
+                "session": session.name,
+                "restored": not session.recyclable,
+                "interval_instructions":
+                    session.tracker.interval_instructions,
+            }
+        if isinstance(request, protocol.CloseRequest):
+            session = self.registry.close(request.session)
+            return {
+                "session": session.name,
+                "intervals": session.tracker.intervals_observed,
+                "branches": session.branches_ingested,
+            }
+        if isinstance(request, protocol.PredictRequest):
+            session = self.registry.get(request.session)
+            return self._predict_result(session)
+        assert isinstance(request, protocol.SnapshotRequest)
+        session = self.registry.get(request.session)
+        return {"snapshot": snapshot_tracker(session.tracker)}
+
+    @staticmethod
+    def _predict_result(session: Session) -> dict:
+        tracker = session.tracker
+        pending = tracker.next_phase.pending_prediction
+        return {
+            "session": session.name,
+            "intervals": tracker.intervals_observed,
+            "current_phase": tracker.current_phase,
+            "predicted_next_phase": (
+                pending.phase_id if pending is not None else None
+            ),
+            "prediction_confident": (
+                pending.confident if pending is not None else False
+            ),
+            "prediction_source": (
+                pending.source if pending is not None else None
+            ),
+            "predicted_length_class":
+                tracker.length_predictor.outstanding_prediction,
+        }
+
+    def _handle_observe(
+        self, request: protocol.ObserveRequest
+    ) -> List[dict]:
+        session = self.registry.get(request.session)
+        started = time.perf_counter()
+        reports = session.tracker.observe_batch(
+            request.pcs, request.counts, cpi=request.cpi
+        )
+        elapsed = time.perf_counter() - started
+        session.branches_ingested += len(request.pcs)
+        session.intervals_pushed += len(reports)
+        if self._telemetry is not None:
+            self._m_branches.inc(len(request.pcs))
+            self._m_intervals.inc(len(reports))
+            if request.pcs:
+                self._h_ingest.observe(elapsed / len(request.pcs))
+        payloads = [
+            protocol.interval_push(session.name, report.to_dict())
+            for report in reports
+        ]
+        payloads.append(protocol.ok_response(request.id, {
+            "intervals": len(reports),
+            "branches": len(request.pcs),
+        }))
+        return payloads
+
+
+def _best_effort_id(line: bytes) -> Optional[int]:
+    """Recover the request id from a line that failed validation, so
+    the error response can still be matched to its request."""
+    try:
+        payload = json.loads(line)
+    except Exception:
+        return None
+    if isinstance(payload, dict):
+        request_id = payload.get("id")
+        if isinstance(request_id, int) and not isinstance(request_id, bool):
+            return request_id
+    return None
+
+
+# -- thread hosting -----------------------------------------------------------
+
+
+class ServiceHandle:
+    """A running service on a background thread (tests, demos, the
+    benchmark). Use as a context manager or call :meth:`stop`."""
+
+    def __init__(self, service: PhaseService, drain: bool = True) -> None:
+        self.service = service
+        self.drain = drain
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._error: Optional[BaseException] = None
+
+    @property
+    def port(self) -> int:
+        return self.service.port
+
+    @property
+    def host(self) -> str:
+        return self.service.host
+
+    def start(self, timeout: float = 10.0) -> "ServiceHandle":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-phase-service", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise ServiceUnavailableError(
+                "service failed to start within the timeout"
+            )
+        if self._error is not None:
+            raise ServiceUnavailableError(
+                f"service failed to start: {self._error}"
+            )
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self.service.start())
+        except BaseException as error:
+            self._error = error
+            self._started.set()
+            loop.close()
+            return
+        self._started.set()
+        try:
+            loop.run_until_complete(self.service.serve_forever())
+        finally:
+            loop.close()
+
+    def stop(self, drain: Optional[bool] = None, timeout: float = 10.0) -> None:
+        """Shut the service down (draining by default) and join the
+        thread. Idempotent."""
+        loop, thread = self._loop, self._thread
+        if loop is None or thread is None or not thread.is_alive():
+            return
+        should_drain = self.drain if drain is None else drain
+        future = asyncio.run_coroutine_threadsafe(
+            self.service.shutdown(drain=should_drain), loop
+        )
+        try:
+            future.result(timeout)
+        except Exception:
+            pass
+        thread.join(timeout)
+
+    def __enter__(self) -> "ServiceHandle":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def start_in_thread(**kwargs: object) -> ServiceHandle:
+    """Build a :class:`PhaseService` and run it on a daemon thread;
+    returns a started :class:`ServiceHandle` (``handle.port`` is live)."""
+    service = PhaseService(**kwargs)  # type: ignore[arg-type]
+    return ServiceHandle(service).start()

@@ -1,0 +1,305 @@
+"""Session registry: many named trackers behind one service.
+
+A :class:`Session` owns one :class:`~repro.core.online.PhaseTracker`
+plus activity bookkeeping; the :class:`SessionRegistry` maps names to
+sessions with three protection mechanisms a long-lived service needs:
+
+- **capacity cap** — at most ``max_sessions`` live trackers. When the
+  cap is hit, opening another session either evicts the
+  least-recently-active one (``evict_lru=True``, the default — the
+  same policy the paper's signature table uses) or is refused with
+  :class:`~repro.errors.ServiceOverloadedError` for deployments that
+  prefer explicit admission control.
+- **idle TTL** — :meth:`SessionRegistry.expire_idle` drops sessions
+  untouched for ``idle_ttl`` seconds; the server sweeps periodically.
+- **recycling** — closed/evicted trackers return to a free pool and are
+  :meth:`~repro.core.online.PhaseTracker.reset` on reuse instead of
+  reconstructed, keeping session churn off the allocation path.
+
+The registry is not thread-safe by itself; the asyncio server drives
+it from one event loop, and the synchronous tests drive it from one
+thread.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+
+from repro.core.config import ClassifierConfig
+from repro.core.online import PhaseTracker
+from repro.errors import (
+    ConfigurationError,
+    ServiceOverloadedError,
+    SessionExistsError,
+    SessionNotFoundError,
+)
+from repro.service.snapshot import restore_tracker
+from repro.workloads.trace import DEFAULT_INTERVAL_INSTRUCTIONS
+
+if TYPE_CHECKING:  # pragma: no cover - import-time typing only
+    from repro.telemetry import Telemetry
+
+
+class Session:
+    """One client-visible tracking session."""
+
+    __slots__ = (
+        "name", "tracker", "created_at", "last_active",
+        "intervals_pushed", "branches_ingested", "recyclable",
+    )
+
+    def __init__(
+        self, name: str, tracker: PhaseTracker, now: float,
+        recyclable: bool = True,
+    ) -> None:
+        self.name = name
+        self.tracker = tracker
+        self.created_at = now
+        self.last_active = now
+        self.intervals_pushed = 0
+        self.branches_ingested = 0
+        # Restored trackers may carry a non-default predictor setup, so
+        # they never enter the homogeneous free pool.
+        self.recyclable = recyclable
+
+    def idle_seconds(self, now: float) -> float:
+        return now - self.last_active
+
+
+def _build_config(overrides: Optional[dict]) -> ClassifierConfig:
+    """A ClassifierConfig from wire-supplied field overrides."""
+    if not overrides:
+        return ClassifierConfig.paper_default()
+    try:
+        return ClassifierConfig(**overrides)
+    except TypeError as error:
+        # Unknown field names reach the dataclass constructor as
+        # unexpected kwargs; surface them as configuration errors.
+        raise ConfigurationError(str(error)) from None
+
+
+class SessionRegistry:
+    """Named tracker sessions with LRU capping and idle-TTL expiry.
+
+    Parameters
+    ----------
+    max_sessions:
+        Live-session cap.
+    idle_ttl:
+        Seconds of inactivity after which :meth:`expire_idle` drops a
+        session; ``None`` disables expiry.
+    evict_lru:
+        When full, evict the least-recently-active session instead of
+        refusing the open.
+    telemetry:
+        Optional hub: a live-sessions gauge plus one event per session
+        lifecycle transition (opened / closed / evicted / expired).
+    clock:
+        Monotonic time source (overridable in tests).
+    """
+
+    def __init__(
+        self,
+        max_sessions: int = 64,
+        idle_ttl: Optional[float] = None,
+        evict_lru: bool = True,
+        telemetry: "Optional[Telemetry]" = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_sessions <= 0:
+            raise ConfigurationError(
+                f"max_sessions must be positive, got {max_sessions}"
+            )
+        if idle_ttl is not None and idle_ttl <= 0:
+            raise ConfigurationError(
+                f"idle_ttl must be positive or None, got {idle_ttl}"
+            )
+        self.max_sessions = max_sessions
+        self.idle_ttl = idle_ttl
+        self.evict_lru = evict_lru
+        self.clock = clock
+        # Most recently active last; OrderedDict gives O(1) LRU updates.
+        self._sessions: "OrderedDict[str, Session]" = OrderedDict()
+        self._free_trackers: List[PhaseTracker] = []
+        self._name_counter = itertools.count(1)
+        self.sessions_opened = 0
+        self.sessions_closed = 0
+        self.sessions_evicted = 0
+        self.sessions_expired = 0
+        self._telemetry = telemetry
+        if telemetry is not None:
+            self._g_sessions = telemetry.gauge(
+                "repro_service_sessions",
+                "Live tracker sessions in the registry",
+            )
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sessions
+
+    def names(self) -> List[str]:
+        """Session names, least recently active first."""
+        return list(self._sessions)
+
+    def _emit(self, event: str, session: Session, **fields: object) -> None:
+        if self._telemetry is not None:
+            self._g_sessions.set(len(self._sessions))
+            self._telemetry.emit(
+                event,
+                session=session.name,
+                intervals=session.tracker.intervals_observed,
+                **fields,
+            )
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def open(
+        self,
+        name: Optional[str] = None,
+        config: Optional[dict] = None,
+        interval_instructions: Optional[int] = None,
+        snapshot: Optional[dict] = None,
+    ) -> Session:
+        """Create (or restore) a session.
+
+        Raises :class:`SessionExistsError` for a duplicate name,
+        :class:`~repro.errors.ConfigurationError` for bad config
+        overrides, :class:`~repro.errors.SnapshotError` for a bad
+        snapshot, and :class:`ServiceOverloadedError` when the registry
+        is full and LRU eviction is disabled.
+        """
+        if name is None:
+            name = self._generate_name()
+        elif name in self._sessions:
+            raise SessionExistsError(f"session {name!r} is already open")
+
+        self.expire_idle()
+        if len(self._sessions) >= self.max_sessions:
+            if not self.evict_lru:
+                raise ServiceOverloadedError(
+                    f"session table is full ({self.max_sessions}); close "
+                    "a session or retry later"
+                )
+            self._evict_lru()
+
+        if snapshot is not None:
+            tracker = restore_tracker(snapshot)
+        else:
+            tracker = self._checkout_tracker(
+                _build_config(config),
+                interval_instructions or DEFAULT_INTERVAL_INSTRUCTIONS,
+            )
+        session = Session(
+            name, tracker, self.clock(), recyclable=snapshot is None
+        )
+        self._sessions[name] = session
+        self.sessions_opened += 1
+        self._emit(
+            "session_opened", session, restored=snapshot is not None
+        )
+        return session
+
+    def get(self, name: str) -> Session:
+        """Look up a session, refreshing its activity/LRU position."""
+        session = self._sessions.get(name)
+        if session is None:
+            raise SessionNotFoundError(
+                f"session {name!r} does not exist (never opened, closed, "
+                "or reclaimed by the LRU cap / idle TTL)"
+            )
+        session.last_active = self.clock()
+        self._sessions.move_to_end(name)
+        return session
+
+    def close(self, name: str) -> Session:
+        """Close a session, recycling its tracker into the free pool."""
+        session = self._sessions.pop(name, None)
+        if session is None:
+            raise SessionNotFoundError(f"session {name!r} does not exist")
+        self.sessions_closed += 1
+        self._recycle(session)
+        self._emit("session_closed", session)
+        return session
+
+    def close_all(self) -> int:
+        """Close every session (service shutdown); returns the count."""
+        count = 0
+        for name in list(self._sessions):
+            self.close(name)
+            count += 1
+        return count
+
+    def expire_idle(self) -> List[str]:
+        """Drop sessions idle past the TTL; returns the expired names."""
+        if self.idle_ttl is None or not self._sessions:
+            return []
+        now = self.clock()
+        expired = [
+            name
+            for name, session in self._sessions.items()
+            if session.idle_seconds(now) > self.idle_ttl
+        ]
+        for name in expired:
+            session = self._sessions.pop(name)
+            self.sessions_expired += 1
+            self._recycle(session)
+            self._emit(
+                "session_expired", session,
+                idle_seconds=round(session.idle_seconds(now), 3),
+            )
+        return expired
+
+    # -- internals ------------------------------------------------------------
+
+    def _generate_name(self) -> str:
+        while True:
+            name = f"session-{next(self._name_counter)}"
+            if name not in self._sessions:
+                return name
+
+    def _evict_lru(self) -> None:
+        name, session = self._sessions.popitem(last=False)
+        self.sessions_evicted += 1
+        self._recycle(session)
+        self._emit("session_evicted", session)
+
+    def _checkout_tracker(
+        self, config: ClassifierConfig, interval_instructions: int
+    ) -> PhaseTracker:
+        """Reuse a pooled tracker when its construction-time shape
+        matches; otherwise build a fresh one."""
+        for index, tracker in enumerate(self._free_trackers):
+            if tracker.classifier.config == config:
+                del self._free_trackers[index]
+                tracker.reset()
+                tracker.interval_instructions = interval_instructions
+                return tracker
+        return PhaseTracker(
+            config, interval_instructions=interval_instructions
+        )
+
+    def _recycle(self, session: Session) -> None:
+        # Cap the pool at the session cap; beyond that, drop trackers.
+        if session.recyclable and (
+            len(self._free_trackers) < self.max_sessions
+        ):
+            self._free_trackers.append(session.tracker)
+
+    # -- inspection -----------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Lifecycle counters plus the live-session count."""
+        return {
+            "live": len(self._sessions),
+            "opened": self.sessions_opened,
+            "closed": self.sessions_closed,
+            "evicted": self.sessions_evicted,
+            "expired": self.sessions_expired,
+        }

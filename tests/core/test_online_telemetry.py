@@ -120,10 +120,9 @@ class TestTrackerEvents:
         intervals = [r for r in records if r["event"] == "interval"]
         assert len(intervals) == len(reports)
         for record, report in zip(intervals, reports):
-            assert record["interval"] == report.interval_index
-            assert record["phase_id"] == report.phase_id
-            assert record["is_transition"] == report.is_transition
-            assert record["phase_changed"] == report.phase_changed
+            # Interval events carry the report's wire form verbatim.
+            for key, value in report.to_dict().items():
+                assert record[key] == value
         assert all("table_occupancy" in r for r in intervals)
         assert all("threshold_halvings" in r for r in intervals)
 

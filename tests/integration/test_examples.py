@@ -20,6 +20,7 @@ FAST_EXAMPLES = [
     ("adaptive_thresholds.py", "dynamic 25%"),
     ("custom_workload.py", "classifiable"),
     ("telemetry_dashboard.py", "per-stage span timings"),
+    ("service_demo.py", "snapshot/restore is exact"),
 ]
 
 

@@ -1,0 +1,111 @@
+"""Property: snapshot -> restore -> replay is indistinguishable from an
+uninterrupted run, across randomized classifier configurations,
+predictor setups, branch streams, and cut points (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ClassifierConfig, PhaseTracker
+from repro.prediction import MarkovChangePredictor, RLEChangePredictor
+from repro.service.snapshot import (
+    dumps,
+    loads,
+    restore_tracker,
+    snapshot_tracker,
+)
+
+INTERVAL_INSTRUCTIONS = 1_500
+BRANCHES = 1_200
+
+configs = st.builds(
+    ClassifierConfig,
+    num_counters=st.sampled_from([8, 16, 32]),
+    bits_per_counter=st.sampled_from([4, 6]),
+    table_entries=st.sampled_from([None, 4, 32]),
+    similarity_threshold=st.sampled_from([0.0625, 0.125, 0.25]),
+    min_count_threshold=st.integers(min_value=0, max_value=8),
+    match_policy=st.sampled_from(["first", "most_similar"]),
+    bit_selector=st.sampled_from(["static", "dynamic"]),
+    perf_dev_threshold=st.sampled_from([None, 0.25, 0.5]),
+)
+
+predictors = st.sampled_from(["rle", "markov", "none"])
+
+
+def build_change_predictor(kind):
+    if kind == "rle":
+        return RLEChangePredictor(2)
+    if kind == "markov":
+        return MarkovChangePredictor(1, entry_kind="top4")
+    return None
+
+
+def branch_stream(seed):
+    rng = np.random.default_rng(seed)
+    region = np.where(rng.random(BRANCHES) < 0.5, 0x400000, 0x900000)
+    pcs = (region + rng.integers(0, 48, size=BRANCHES) * 4).tolist()
+    counts = rng.integers(1, 90, size=BRANCHES).tolist()
+    return pcs, counts
+
+
+def drive(tracker, pcs, counts, cpis):
+    """Per-branch drive with a varying CPI per boundary — exercises the
+    adaptive-threshold path too."""
+    reports = []
+    for pc, count in zip(pcs, counts):
+        if tracker.observe_branch(pc, count):
+            cpi = cpis[len(reports) % len(cpis)]
+            reports.append(tracker.complete_interval(cpi).to_dict())
+    return reports
+
+
+@given(
+    config=configs,
+    predictor_kind=predictors,
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    cut_fraction=st.floats(min_value=0.05, max_value=0.95),
+)
+@settings(max_examples=25, deadline=None)
+def test_snapshot_restore_replay_is_byte_identical(
+    config, predictor_kind, seed, cut_fraction
+):
+    pcs, counts = branch_stream(seed)
+    cpis = [1.0, 1.4, 0.8]
+    cut = int(len(pcs) * cut_fraction)
+
+    original = PhaseTracker(
+        config,
+        interval_instructions=INTERVAL_INSTRUCTIONS,
+        change_predictor=build_change_predictor(predictor_kind),
+    )
+    head = drive(original, pcs[:cut], counts[:cut], cpis)
+
+    # Through the full JSON wire form, exactly as the service ships it.
+    document = loads(dumps(snapshot_tracker(original)))
+    restored = restore_tracker(document)
+
+    # Replay offset so boundary CPIs line up with the original's cycle.
+    tail_cpis = cpis[len(head) % len(cpis):] + cpis[:len(head) % len(cpis)]
+    tail_original = drive(original, pcs[cut:], counts[cut:], tail_cpis)
+    tail_restored = drive(restored, pcs[cut:], counts[cut:], tail_cpis)
+
+    assert tail_original == tail_restored
+
+
+@given(
+    config=configs,
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=10, deadline=None)
+def test_double_snapshot_is_stable(config, seed):
+    """Snapshotting a restored tracker yields the same document —
+    restore loses nothing."""
+    pcs, counts = branch_stream(seed)
+    tracker = PhaseTracker(
+        config, interval_instructions=INTERVAL_INSTRUCTIONS
+    )
+    drive(tracker, pcs, counts, [1.0, 1.2])
+    first = dumps(snapshot_tracker(tracker))
+    second = dumps(snapshot_tracker(restore_tracker(loads(first))))
+    assert first == second

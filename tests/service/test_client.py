@@ -1,0 +1,159 @@
+"""The client SDK: typed application errors vs transport failures,
+retry policy, push buffering."""
+
+import socket
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    ServiceError,
+    ServiceTransportError,
+    SessionExistsError,
+    SessionNotFoundError,
+)
+from repro.service import PhaseServiceClient, start_in_thread
+
+
+@pytest.fixture()
+def service():
+    handle = start_in_thread(max_sessions=4)
+    yield handle
+    handle.stop()
+
+
+class TestTypedApplicationErrors:
+    """Server refusals surface as the matching repro.errors exception —
+    and never as a transport failure (the connection stays usable)."""
+
+    def test_session_not_found(self, service):
+        with PhaseServiceClient(port=service.port) as client:
+            with pytest.raises(SessionNotFoundError):
+                client.observe("ghost", [4096], [10])
+            assert client.ping()["protocol"] == 1   # connection survives
+
+    def test_session_exists(self, service):
+        with PhaseServiceClient(port=service.port) as client:
+            client.open_session(session="dup")
+            with pytest.raises(SessionExistsError):
+                client.open_session(session="dup")
+
+    def test_bad_snapshot_is_snapshot_error(self, service):
+        from repro.errors import SnapshotError
+
+        with PhaseServiceClient(port=service.port) as client:
+            with pytest.raises(SnapshotError):
+                client.open_session(snapshot={"version": 999})
+
+    def test_typed_errors_are_not_transport_errors(self, service):
+        with PhaseServiceClient(port=service.port) as client:
+            try:
+                client.close_session("ghost")
+            except ServiceTransportError:  # pragma: no cover
+                pytest.fail("application refusal raised as transport")
+            except SessionNotFoundError as error:
+                assert isinstance(error, ServiceError)
+                assert not isinstance(error, ServiceTransportError)
+
+
+class TestTransportFailures:
+    def test_connect_refused(self):
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            free_port = probe.getsockname()[1]
+        client = PhaseServiceClient(
+            port=free_port, timeout=0.5, retries=0, backoff=0.01
+        )
+        with pytest.raises(ServiceTransportError):
+            client.ping()
+
+    def test_server_death_mid_session_is_transport_not_typed(self, service):
+        client = PhaseServiceClient(
+            port=service.port, timeout=2.0, retries=0
+        )
+        name = client.open_session(interval_instructions=1000)
+        service.stop()
+        with pytest.raises(ServiceTransportError):
+            client.observe(name, [4096], [10])
+        client.close()
+
+    def test_mutating_requests_are_never_retried(self, service):
+        client = PhaseServiceClient(
+            port=service.port, timeout=2.0, retries=5, backoff=0.01
+        )
+        client.ping()
+        service.stop()
+        attempts = []
+        original = client._request_once
+
+        def counting(payload):
+            attempts.append(payload["op"])
+            return original(payload)
+
+        client._request_once = counting
+        with pytest.raises(ServiceTransportError):
+            client.observe("s", [4096], [10])
+        assert attempts == ["observe"]       # exactly one attempt
+        client.close()
+
+    def test_read_only_requests_retry_with_backoff(self, service):
+        client = PhaseServiceClient(
+            port=service.port, timeout=2.0, retries=2, backoff=0.01
+        )
+        client.ping()
+        service.stop()
+        attempts = []
+        original = client._request_once
+
+        def counting(payload):
+            attempts.append(payload["op"])
+            return original(payload)
+
+        client._request_once = counting
+        with pytest.raises(ServiceTransportError):
+            client.ping()
+        assert attempts == ["ping"] * 3      # 1 try + 2 retries
+        client.close()
+
+    def test_retry_recovers_after_reconnect(self, service):
+        """A dropped connection with a live server: the first attempt
+        fails on the dead socket, the retry reconnects and succeeds."""
+        client = PhaseServiceClient(
+            port=service.port, timeout=2.0, retries=2, backoff=0.01
+        )
+        client.ping()
+        client._sock.close()                 # sever underneath the SDK
+        assert client.ping()["protocol"] == 1
+
+
+class TestPushBuffering:
+    def test_reports_buffered_across_requests(self, service):
+        with PhaseServiceClient(port=service.port) as client:
+            name = client.open_session(interval_instructions=1000)
+            reports = client.observe(name, [4096] * 60, [40] * 60)
+            assert len(reports) == 2
+            assert client.drain_reports() == []   # already drained
+
+    def test_drain_filters_by_session(self, service):
+        with PhaseServiceClient(port=service.port) as client:
+            a = client.open_session(interval_instructions=1000)
+            b = client.open_session(interval_instructions=1000)
+            client.observe(a, [4096] * 30, [40] * 30)
+            # a's reports were drained by observe; stage a mixed buffer
+            # to exercise the per-session filter.
+            from repro.service.protocol import IntervalPush
+
+            client._pushes = [
+                IntervalPush(session=a, report={"interval_index": 9}),
+                IntervalPush(session=b, report={"interval_index": 1}),
+            ]
+            assert client.drain_reports(a) == [{"interval_index": 9}]
+            assert client.drain_reports() == [{"interval_index": 1}]
+
+
+class TestConstruction:
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            PhaseServiceClient(timeout=0)
+        with pytest.raises(ConfigurationError):
+            PhaseServiceClient(retries=-1)

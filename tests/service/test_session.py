@@ -1,0 +1,188 @@
+"""The session registry: caps, TTL, recycling, lifecycle telemetry."""
+
+import pytest
+
+from repro.core import ClassifierConfig, PhaseTracker
+from repro.errors import (
+    ConfigurationError,
+    ServiceOverloadedError,
+    SessionExistsError,
+    SessionNotFoundError,
+)
+from repro.service.session import SessionRegistry
+from repro.service.snapshot import snapshot_tracker
+from repro.telemetry import EventLog, Telemetry, read_events
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestLifecycle:
+    def test_open_get_close(self):
+        registry = SessionRegistry(max_sessions=4)
+        session = registry.open(name="a", interval_instructions=1000)
+        assert session.name == "a"
+        assert registry.get("a") is session
+        assert len(registry) == 1
+        closed = registry.close("a")
+        assert closed is session
+        assert "a" not in registry
+        with pytest.raises(SessionNotFoundError):
+            registry.get("a")
+
+    def test_auto_names_are_unique(self):
+        registry = SessionRegistry()
+        names = {registry.open().name for _ in range(5)}
+        assert len(names) == 5
+        assert all(name.startswith("session-") for name in names)
+
+    def test_duplicate_name_refused(self):
+        registry = SessionRegistry()
+        registry.open(name="dup")
+        with pytest.raises(SessionExistsError):
+            registry.open(name="dup")
+
+    def test_config_overrides_applied(self):
+        registry = SessionRegistry()
+        session = registry.open(config={"num_counters": 64})
+        assert session.tracker.classifier.config.num_counters == 64
+
+    def test_bad_config_override_is_configuration_error(self):
+        registry = SessionRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.open(config={"flux_capacitance": 3})
+
+    def test_close_all(self):
+        registry = SessionRegistry()
+        for _ in range(3):
+            registry.open()
+        assert registry.close_all() == 3
+        assert len(registry) == 0
+
+
+class TestCapacity:
+    def test_lru_eviction_on_overflow(self):
+        registry = SessionRegistry(max_sessions=2)
+        registry.open(name="old")
+        registry.open(name="mid")
+        registry.get("old")            # refresh: now "mid" is the LRU
+        registry.open(name="new")
+        assert registry.names() == ["old", "new"]
+        assert registry.sessions_evicted == 1
+
+    def test_refusal_when_eviction_disabled(self):
+        registry = SessionRegistry(max_sessions=1, evict_lru=False)
+        registry.open(name="only")
+        with pytest.raises(ServiceOverloadedError):
+            registry.open(name="more")
+        assert registry.names() == ["only"]
+
+    def test_invalid_limits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SessionRegistry(max_sessions=0)
+        with pytest.raises(ConfigurationError):
+            SessionRegistry(idle_ttl=-1)
+
+
+class TestIdleTTL:
+    def test_idle_sessions_expire(self):
+        clock = FakeClock()
+        registry = SessionRegistry(idle_ttl=10, clock=clock)
+        registry.open(name="stale")
+        registry.open(name="busy")
+        clock.advance(8)
+        registry.get("busy")           # refresh "busy" only
+        clock.advance(5)               # "stale" now idle 13s > 10s
+        assert registry.expire_idle() == ["stale"]
+        assert registry.names() == ["busy"]
+        assert registry.sessions_expired == 1
+
+    def test_open_sweeps_expired_before_counting_capacity(self):
+        clock = FakeClock()
+        registry = SessionRegistry(
+            max_sessions=1, idle_ttl=10, evict_lru=False, clock=clock
+        )
+        registry.open(name="stale")
+        clock.advance(11)
+        registry.open(name="fresh")    # no ServiceOverloadedError
+        assert registry.names() == ["fresh"]
+
+    def test_no_ttl_never_expires(self):
+        clock = FakeClock()
+        registry = SessionRegistry(clock=clock)
+        registry.open()
+        clock.advance(1e9)
+        assert registry.expire_idle() == []
+
+
+class TestRecycling:
+    def test_closed_tracker_is_reused_for_matching_config(self):
+        registry = SessionRegistry()
+        first = registry.open(name="a", interval_instructions=1000)
+        tracker = first.tracker
+        tracker.observe_batch([4096] * 5, [300] * 5, cpi=1.0)
+        registry.close("a")
+        second = registry.open(name="b", interval_instructions=2000)
+        assert second.tracker is tracker               # pooled, not rebuilt
+        assert second.tracker.intervals_observed == 0  # and reset
+        assert second.tracker.instructions_into_interval == 0
+        assert second.tracker.interval_instructions == 2000
+
+    def test_different_config_builds_fresh_tracker(self):
+        registry = SessionRegistry()
+        first = registry.open(name="a", config={"num_counters": 16})
+        registry.close("a")
+        second = registry.open(name="b", config={"num_counters": 64})
+        assert second.tracker is not first.tracker
+
+    def test_restored_sessions_never_enter_the_pool(self):
+        source = PhaseTracker(
+            ClassifierConfig.paper_default(), interval_instructions=1000
+        )
+        registry = SessionRegistry()
+        restored = registry.open(
+            name="r", snapshot=snapshot_tracker(source)
+        )
+        assert not restored.recyclable
+        tracker = restored.tracker
+        registry.close("r")
+        fresh = registry.open(name="f", interval_instructions=1000)
+        assert fresh.tracker is not tracker
+
+
+class TestTelemetry:
+    def test_gauge_and_lifecycle_events(self):
+        import io
+
+        telemetry = Telemetry(events=EventLog(stream=io.StringIO()))
+        clock = FakeClock()
+        registry = SessionRegistry(
+            max_sessions=1, idle_ttl=10, telemetry=telemetry, clock=clock
+        )
+        registry.open(name="a")
+        registry.open(name="b")        # evicts "a"
+        clock.advance(20)
+        registry.expire_idle()         # expires "b"
+        registry.open(name="c")
+        registry.close("c")
+        gauge = telemetry.metrics.get("repro_service_sessions")
+        assert gauge.value == 0
+        records = read_events(
+            io.StringIO(telemetry.events._stream.getvalue())
+        )
+        kinds = [record["event"] for record in records]
+        assert kinds == [
+            "session_opened", "session_evicted", "session_opened",
+            "session_expired", "session_opened", "session_closed",
+        ]
+        stats = registry.stats()
+        assert stats == {"live": 0, "opened": 3, "closed": 1,
+                         "evicted": 1, "expired": 1}

@@ -1,0 +1,128 @@
+"""Tracker snapshot/restore: exactness, the envelope, failure modes."""
+
+import numpy as np
+import pytest
+
+from repro.core import ClassifierConfig, PhaseTracker
+from repro.errors import SnapshotError
+from repro.prediction import MarkovChangePredictor
+from repro.service.snapshot import (
+    SNAPSHOT_VERSION,
+    dumps,
+    loads,
+    restore_tracker,
+    snapshot_tracker,
+)
+
+
+def two_region_stream(seed=0, n=4000):
+    rng = np.random.default_rng(seed)
+    region = np.where(rng.random(n) < 0.5, 0x400000, 0x900000)
+    pcs = region + rng.integers(0, 64, size=n) * 4
+    counts = rng.integers(1, 120, size=n)
+    return pcs.tolist(), counts.tolist()
+
+
+def drive(tracker, pcs, counts, cpi=1.0):
+    return [r.to_dict() for r in tracker.observe_batch(pcs, counts, cpi)]
+
+
+class TestRoundTrip:
+    def test_restored_tracker_replays_identically(self):
+        pcs, counts = two_region_stream()
+        original = PhaseTracker(interval_instructions=5_000)
+        drive(original, pcs[:2500], counts[:2500], cpi=1.3)
+
+        document = loads(dumps(snapshot_tracker(original)))
+        restored = restore_tracker(document)
+
+        tail_original = drive(original, pcs[2500:], counts[2500:], cpi=0.8)
+        tail_restored = drive(restored, pcs[2500:], counts[2500:], cpi=0.8)
+        assert tail_original == tail_restored
+        assert tail_original  # the tail actually classified intervals
+
+    def test_mid_interval_accumulator_contents_travel(self):
+        tracker = PhaseTracker(interval_instructions=10_000)
+        tracker.observe_batch([4096, 4100], [700, 800], cpi=1.0)
+        assert tracker.instructions_into_interval == 1500
+        restored = restore_tracker(snapshot_tracker(tracker))
+        assert restored.instructions_into_interval == 1500
+        # Same partial interval: the next boundary classifies equally.
+        pcs, counts = two_region_stream(seed=3, n=500)
+        assert drive(tracker, pcs, counts) == drive(restored, pcs, counts)
+
+    def test_interval_length_and_config_travel_in_document(self):
+        config = ClassifierConfig(num_counters=32, table_entries=16)
+        tracker = PhaseTracker(config, interval_instructions=1234)
+        restored = restore_tracker(snapshot_tracker(tracker))
+        assert restored.interval_instructions == 1234
+        assert restored.classifier.config == config
+
+    def test_markov_change_predictor_round_trips(self):
+        tracker = PhaseTracker(
+            interval_instructions=2_000,
+            change_predictor=MarkovChangePredictor(1, entry_kind="top4"),
+        )
+        pcs, counts = two_region_stream(seed=5)
+        drive(tracker, pcs[:2000], counts[:2000])
+        restored = restore_tracker(snapshot_tracker(tracker))
+        assert isinstance(
+            restored.next_phase.change_predictor, MarkovChangePredictor
+        )
+        assert (drive(tracker, pcs[2000:], counts[2000:])
+                == drive(restored, pcs[2000:], counts[2000:]))
+
+    def test_no_change_predictor_round_trips(self):
+        tracker = PhaseTracker(
+            interval_instructions=2_000, change_predictor=None
+        )
+        pcs, counts = two_region_stream(seed=6)
+        drive(tracker, pcs[:1000], counts[:1000])
+        restored = restore_tracker(snapshot_tracker(tracker))
+        assert restored.next_phase.change_predictor is None
+        assert (drive(tracker, pcs[1000:], counts[1000:])
+                == drive(restored, pcs[1000:], counts[1000:]))
+
+    def test_document_is_json_safe(self):
+        tracker = PhaseTracker(interval_instructions=2_000)
+        pcs, counts = two_region_stream(seed=7, n=1500)
+        drive(tracker, pcs, counts)
+        text = dumps(snapshot_tracker(tracker))
+        assert isinstance(text, str)
+        assert loads(text)["version"] == SNAPSHOT_VERSION
+
+
+class TestFailureModes:
+    def test_version_mismatch(self):
+        document = snapshot_tracker(PhaseTracker())
+        document["version"] = SNAPSHOT_VERSION + 1
+        with pytest.raises(SnapshotError, match="version"):
+            restore_tracker(document)
+
+    @pytest.mark.parametrize("document", [
+        "not a dict",
+        {},
+        {"version": SNAPSHOT_VERSION},
+        {"version": SNAPSHOT_VERSION, "tracker": "nope"},
+    ])
+    def test_malformed_envelope(self, document):
+        with pytest.raises(SnapshotError):
+            restore_tracker(document)
+
+    def test_unknown_change_predictor_kind(self):
+        document = snapshot_tracker(PhaseTracker())
+        document["tracker"]["change_predictor"]["kind"] = "quantum"
+        with pytest.raises(SnapshotError, match="quantum"):
+            restore_tracker(document)
+
+    def test_corrupt_component_state(self):
+        document = snapshot_tracker(PhaseTracker())
+        document["tracker"]["classifier"]["accumulator"]["counters"] = [1]
+        with pytest.raises(SnapshotError):
+            restore_tracker(document)
+
+    def test_loads_rejects_garbage(self):
+        with pytest.raises(SnapshotError):
+            loads("{broken")
+        with pytest.raises(SnapshotError):
+            loads("[1,2]")
