@@ -1,0 +1,70 @@
+"""Benchmark: the parallel experiment engine and the on-disk store.
+
+Times the full deduplicated work grid of every registered experiment at
+scale 0.25 three ways — cold sequential (``--jobs 1``), cold parallel
+(``--jobs 4``), and warm from the on-disk store — and asserts the
+engine's headline claims:
+
+- cold ``--jobs 4`` is >= 2.5x faster than cold ``--jobs 1`` (only
+  asserted on machines with >= 4 cores; a 1-core container cannot
+  parallelize);
+- a warm store start is >= 5x faster than cold sequential compute.
+"""
+
+import os
+import time
+
+from repro.harness.cache import clear_cache
+from repro.harness.engine import ExperimentEngine
+from repro.harness.experiment import (
+    EXPERIMENT_NAMES,
+    experiment_work_units,
+)
+from repro.harness.store import ResultStore
+
+SCALE = 0.25
+
+
+def test_engine_parallel_and_store_speedups(tmp_path):
+    units = experiment_work_units(list(EXPERIMENT_NAMES), scale=SCALE)
+    assert units, "experiments declared no work units"
+
+    def timed(jobs, store):
+        clear_cache()
+        engine = ExperimentEngine(jobs=jobs, store=store)
+        start = time.perf_counter()
+        report = engine.ensure(units)
+        return time.perf_counter() - start, report
+
+    seq_store = ResultStore(root=tmp_path / "seq-store")
+    cold_seq, seq_report = timed(jobs=1, store=seq_store)
+    assert seq_report.computed == seq_report.units
+
+    cold_par, par_report = timed(
+        jobs=4, store=ResultStore(root=tmp_path / "par-store")
+    )
+    assert par_report.computed == par_report.units
+
+    warm, warm_report = timed(jobs=1, store=seq_store)
+    assert warm_report.from_store == warm_report.units
+    assert warm_report.computed == 0
+
+    clear_cache()
+    cores = os.cpu_count() or 1
+    print()
+    print(f"engine work grid: {len(units)} units at scale {SCALE}")
+    print(f"  cold sequential (--jobs 1): {cold_seq:7.2f}s")
+    print(f"  cold parallel   (--jobs 4): {cold_par:7.2f}s  "
+          f"({cold_seq / cold_par:4.1f}x, {cores} cores)")
+    print(f"  warm from store           : {warm:7.2f}s  "
+          f"({cold_seq / warm:4.1f}x)")
+
+    assert cold_seq / warm >= 5.0, (
+        f"warm store start only {cold_seq / warm:.1f}x faster than cold "
+        f"sequential (need >= 5x)"
+    )
+    if cores >= 4:
+        assert cold_seq / cold_par >= 2.5, (
+            f"cold --jobs 4 only {cold_seq / cold_par:.1f}x faster than "
+            f"cold --jobs 1 on {cores} cores (need >= 2.5x)"
+        )

@@ -22,6 +22,33 @@ from repro.core.config import ACCUMULATOR_BITS
 _HASH_MULTIPLIER = np.uint64(2654435761)
 _HASH_MASK = np.uint64(0xFFFF_FFFF)
 
+#: Largest per-bucket sum that a float64 ``np.bincount`` accumulates
+#: exactly (53-bit mantissa); beyond it the batch path falls back to an
+#: integer scatter-add.
+_EXACT_FLOAT_SUM = 1 << 53
+
+
+def validate_num_counters(num_counters: int) -> None:
+    """Reject counter counts that are not positive powers of two.
+
+    Validation lives here (and in :class:`AccumulatorTable.__init__`)
+    rather than inside the per-call hash path; direct users composing
+    their own tables can call it once up front.
+    """
+    if num_counters <= 0 or num_counters & (num_counters - 1):
+        raise ConfigurationError(
+            f"num_counters must be a positive power of two, got "
+            f"{num_counters}"
+        )
+
+
+def _hash_pc_unchecked(pcs: np.ndarray, num_counters: int) -> np.ndarray:
+    """The hash itself, assuming ``num_counters`` was validated."""
+    words = (np.asarray(pcs, dtype=np.uint64) >> np.uint64(2))
+    hashed = (words * _HASH_MULTIPLIER) & _HASH_MASK
+    folded = hashed ^ (hashed >> np.uint64(16))
+    return (folded & np.uint64(num_counters - 1)).astype(np.int64)
+
 
 def hash_pc(pcs: np.ndarray, num_counters: int) -> np.ndarray:
     """Hash branch PCs into accumulator indices.
@@ -29,15 +56,8 @@ def hash_pc(pcs: np.ndarray, num_counters: int) -> np.ndarray:
     A multiplicative hash on the word-aligned PC, folded over 16 bits so
     both halves of the product contribute. Deterministic across runs.
     """
-    if num_counters <= 0 or num_counters & (num_counters - 1):
-        raise ConfigurationError(
-            f"num_counters must be a positive power of two, got "
-            f"{num_counters}"
-        )
-    words = (np.asarray(pcs, dtype=np.uint64) >> np.uint64(2))
-    hashed = (words * _HASH_MULTIPLIER) & _HASH_MASK
-    folded = hashed ^ (hashed >> np.uint64(16))
-    return (folded & np.uint64(num_counters - 1)).astype(np.int64)
+    validate_num_counters(num_counters)
+    return _hash_pc_unchecked(pcs, num_counters)
 
 
 class AccumulatorTable:
@@ -55,11 +75,7 @@ class AccumulatorTable:
     def __init__(
         self, num_counters: int = 16, counter_bits: int = ACCUMULATOR_BITS
     ) -> None:
-        if num_counters <= 0 or num_counters & (num_counters - 1):
-            raise ConfigurationError(
-                f"num_counters must be a positive power of two, got "
-                f"{num_counters}"
-            )
+        validate_num_counters(num_counters)
         if not 1 <= counter_bits <= 62:
             raise ConfigurationError(
                 f"counter_bits must be in [1, 62], got {counter_bits}"
@@ -95,7 +111,7 @@ class AccumulatorTable:
             raise ValueError(
                 f"instructions must be non-negative, got {instructions}"
             )
-        index = int(hash_pc(np.array([pc]), self.num_counters)[0])
+        index = int(_hash_pc_unchecked(np.array([pc]), self.num_counters)[0])
         self._counters[index] = min(
             int(self._counters[index]) + instructions, self._max_value
         )
@@ -112,13 +128,22 @@ class AccumulatorTable:
             )
         if np.any(instructions < 0):
             raise ValueError("instruction counts must be non-negative")
-        indices = hash_pc(pcs, self.num_counters)
-        sums = np.bincount(
-            indices, weights=instructions.astype(np.float64),
-            minlength=self.num_counters,
-        ).astype(np.int64)
+        indices = _hash_pc_unchecked(pcs, self.num_counters)
+        total = int(instructions.sum())
+        if total < _EXACT_FLOAT_SUM:
+            # Every per-bucket sum is bounded by the batch total, so the
+            # float64 bincount is exact — and much faster than a scatter-add.
+            sums = np.bincount(
+                indices, weights=instructions.astype(np.float64),
+                minlength=self.num_counters,
+            ).astype(np.int64)
+        else:
+            # Integer scatter-add: slower, but never rounds (the
+            # hardware-faithful path accumulates in integers).
+            sums = np.zeros(self.num_counters, dtype=np.int64)
+            np.add.at(sums, indices, instructions)
         self._counters = np.minimum(self._counters + sums, self._max_value)
-        self._total += int(instructions.sum())
+        self._total += total
 
     def clear(self) -> None:
         """Reset all counters for the next interval."""

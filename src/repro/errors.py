@@ -43,6 +43,17 @@ class SimulationError(ReproError):
     """The microarchitecture substrate was driven with invalid inputs."""
 
 
+class EngineError(ReproError):
+    """The parallel experiment engine was misused or a worker returned
+    a result that fails the sequential-shape contract.
+
+    Raised for invalid worker counts and whenever a parallel result is
+    not structurally identical to what the sequential path produces
+    (wrong type, interval-count mismatch, malformed phase IDs) — the
+    admission check that keeps ``--jobs N`` bit-deterministic.
+    """
+
+
 class TelemetryError(ReproError):
     """The telemetry layer was misused.
 

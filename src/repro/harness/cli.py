@@ -5,9 +5,14 @@ Regenerates the paper's tables and figures as plain-text tables::
     repro-phases                     # every experiment at full scale
     repro-phases fig4 fig8           # a subset
     repro-phases --scale 0.25 fig2   # quarter-length runs (fast)
+    repro-phases --jobs 4 fig4       # compute the work grid in parallel
     repro-phases --list              # show available experiments
 
-and hosts the streaming classification service::
+Work units (traces and classification runs) are computed through the
+:mod:`repro.harness.engine` and persisted in a content-addressed
+on-disk store, so repeat runs start warm (disable with ``--no-store``;
+inspect with ``repro-phases cache stats``). It also hosts the
+streaming classification service::
 
     repro-phases serve --port 9137   # NDJSON phase service (Ctrl-C drains)
 """
@@ -31,7 +36,8 @@ def build_parser() -> argparse.ArgumentParser:
         ),
         epilog=(
             "Use 'repro-phases serve --help' for the streaming "
-            "phase-classification service."
+            "phase-classification service and 'repro-phases cache "
+            "--help' for the on-disk result store."
         ),
     )
     parser.add_argument(
@@ -85,6 +91,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream structured JSONL telemetry events to PATH during "
         "the run",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the experiment work grid (default: "
+        "all cores; 1 keeps the classic in-process sequential path)",
+    )
+    parser.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help="on-disk result store location (default: "
+        "$REPRO_PHASES_STORE, else ~/.cache/repro-phases/store)",
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="do not read or write the on-disk result store",
+    )
     return parser
 
 
@@ -93,6 +119,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "serve":
         return _serve_main(list(argv[1:]))
+    if argv and argv[0] == "cache":
+        return _cache_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
     available = experiment_names()
     if args.list:
@@ -109,6 +137,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     telemetry = _build_telemetry(args)
+    store = _build_store(args)
+    if store is not None:
+        from repro.harness.cache import set_result_store
+
+        set_result_store(store)
     try:
         if args.classify is not None:
             return _classify_report(args.classify, args.scale, telemetry)
@@ -122,6 +155,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 file=sys.stderr,
             )
             return 2
+
+        # Compute the deduplicated work grid of every requested
+        # experiment up front — in parallel and/or from the store —
+        # so the bodies below run against warm caches.
+        from repro.harness.engine import ExperimentEngine
+        from repro.harness.experiment import experiment_work_units
+
+        units = experiment_work_units(requested, scale=args.scale)
+        if units:
+            engine = ExperimentEngine(
+                jobs=args.jobs, telemetry=telemetry
+            )
+            report = engine.ensure(units)
+            print(f"[engine: {report.summary()}]\n")
 
         collected = {}
         for name in requested:
@@ -141,7 +188,56 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"[raw data written to {args.json}]")
         return 0
     finally:
+        if store is not None:
+            from repro.harness.cache import set_result_store
+
+            set_result_store(None)
         _finalize_telemetry(args, telemetry)
+
+
+def _build_store(args):
+    """The on-disk result store (default on; ``--no-store`` opts out)."""
+    if args.no_store:
+        return None
+    from repro.harness.store import ResultStore
+
+    return ResultStore(root=args.store)
+
+
+def _cache_main(argv: List[str]) -> int:
+    """The ``repro-phases cache`` subcommand: inspect or empty the
+    on-disk result store."""
+    parser = argparse.ArgumentParser(
+        prog="repro-phases cache",
+        description=(
+            "Inspect or empty the content-addressed on-disk result "
+            "store backing the experiment engine."
+        ),
+    )
+    parser.add_argument(
+        "action",
+        choices=("stats", "clear"),
+        help="'stats' prints entry/byte counts; 'clear' deletes every "
+        "entry",
+    )
+    parser.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help="store location (default: $REPRO_PHASES_STORE, else "
+        "~/.cache/repro-phases/store)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.harness.store import ResultStore
+
+    store = ResultStore(root=args.store)
+    if args.action == "stats":
+        print(store.stats().render())
+    else:
+        removed = store.clear()
+        print(f"removed {removed} entries from {store.root}")
+    return 0
 
 
 def _build_telemetry(args):

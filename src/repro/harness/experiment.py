@@ -1,14 +1,26 @@
-"""Experiment registry and result container."""
+"""Experiment registry and result container.
+
+Experiments register both a body and (optionally) a *work-unit
+declaration*: a function mapping a scale to the deduplicated
+``(benchmark, scale, config)`` grid the body will consume. The
+declaration lets the :class:`~repro.harness.engine.ExperimentEngine`
+make every unit resident — in parallel, or from the on-disk store —
+before the body runs; the body's cache lookups then all hit.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
 
 from repro.errors import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover - import-time typing only
+    from repro.harness.engine import ExperimentEngine, WorkUnit
     from repro.telemetry import Telemetry
+
+#: A work-unit declaration: scale -> units the experiment will touch.
+UnitsFn = Callable[[float], "Sequence[WorkUnit]"]
 
 
 @dataclass
@@ -32,27 +44,77 @@ class ExperimentResult:
         return "\n\n".join([header] + self.tables)
 
 
-_REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {}
+@dataclass(frozen=True)
+class _Experiment:
+    """A registered experiment: its body and unit declaration."""
+
+    func: Callable[..., ExperimentResult]
+    units: Optional[UnitsFn] = None
 
 
-def register(name: str) -> Callable:
-    """Decorator registering an experiment function under ``name``."""
+_REGISTRY: Dict[str, _Experiment] = {}
+
+
+def register(name: str, units: Optional[UnitsFn] = None) -> Callable:
+    """Decorator registering an experiment function under ``name``.
+
+    ``units`` declares the work-unit grid the experiment consumes (see
+    the module docstring); experiments without one — those that derive
+    everything from configs alone, or bypass the caches — simply cannot
+    be prefetched.
+    """
 
     def wrap(func: Callable[..., ExperimentResult]) -> Callable:
         if name in _REGISTRY:
             raise ConfigurationError(f"experiment {name!r} already registered")
-        _REGISTRY[name] = func
+        _REGISTRY[name] = _Experiment(func=func, units=units)
         return func
 
     return wrap
+
+
+def _lookup(name: str) -> _Experiment:
+    # Importing figures lazily avoids a circular import at package load
+    # and ensures the registry is populated.
+    from repro.harness import figures  # noqa: F401
+
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {name!r}; expected one of "
+            f"{sorted(_REGISTRY)}"
+        ) from None
+
+
+def experiment_work_units(
+    names: "Sequence[str]", scale: float = 1.0
+) -> "List[WorkUnit]":
+    """The deduplicated work units of the named experiments, in
+    declaration order (figures sharing a configuration share units)."""
+    from repro.harness.engine import dedupe_units
+
+    units: "List[WorkUnit]" = []
+    for name in names:
+        declared = _lookup(name).units
+        if declared is not None:
+            units.extend(declared(scale))
+    return dedupe_units(units)
 
 
 def run_experiment(
     name: str,
     scale: float = 1.0,
     telemetry: "Optional[Telemetry]" = None,
+    engine: "Optional[ExperimentEngine]" = None,
 ) -> ExperimentResult:
     """Run a registered experiment by name.
+
+    With an :class:`~repro.harness.engine.ExperimentEngine` the
+    experiment's declared work units are made resident first (possibly
+    in parallel, possibly from the on-disk store); the body then runs
+    against warm caches. Results are identical with and without an
+    engine — see ``tests/integration/test_parallel_crosscheck.py``.
 
     With a :class:`repro.telemetry.Telemetry` hub attached the run is
     wrapped in an ``experiment:<name>`` span, counted in
@@ -60,17 +122,10 @@ def run_experiment(
     ``experiment_start``/``experiment_end`` events (or
     ``experiment_error`` if it raises).
     """
-    # Importing figures lazily avoids a circular import at package load
-    # and ensures the registry is populated.
-    from repro.harness import figures  # noqa: F401
-
-    try:
-        func = _REGISTRY[name]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown experiment {name!r}; expected one of "
-            f"{sorted(_REGISTRY)}"
-        ) from None
+    entry = _lookup(name)
+    func = entry.func
+    if engine is not None and entry.units is not None:
+        engine.ensure(entry.units(scale))
     if telemetry is None:
         return func(scale=scale)
 

@@ -5,6 +5,16 @@ figure's series, and returns an :class:`ExperimentResult` whose
 ``data`` dictionary carries the raw numbers (used by the test suite and
 benchmark harness to assert the paper's shapes). See DESIGN.md §4 for
 the per-experiment index and shape targets.
+
+Each experiment *declares* its configuration grid as module-level
+constants and registers the corresponding work units (``units=`` on
+:func:`~repro.harness.experiment.register`), so the
+:class:`~repro.harness.engine.ExperimentEngine` can compute the whole
+grid — deduplicated across experiments — in parallel and/or from the
+on-disk store before any body runs. Bodies still read through
+:func:`~repro.harness.cache.cached_trace` /
+:func:`~repro.harness.cache.cached_classified`; after a prefetch those
+are pure lookups.
 """
 
 from __future__ import annotations
@@ -21,6 +31,7 @@ from repro.analysis.runs import extract_runs, run_length_histogram
 from repro.analysis.tables import render_table
 from repro.core import ClassifierConfig
 from repro.harness.cache import cached_classified, cached_trace
+from repro.harness.engine import WorkUnit
 from repro.harness.experiment import ExperimentResult, register
 from repro.prediction import (
     CompositePhasePredictor,
@@ -51,12 +62,41 @@ def _covs_and_phases(
     return covs, phases, transitions
 
 
+def _grid_units(
+    scale: float,
+    configs: "Sequence[ClassifierConfig]" = (),
+    traces: bool = True,
+) -> List[WorkUnit]:
+    """The (benchmark x config) work-unit grid of one experiment."""
+    units: List[WorkUnit] = []
+    if traces:
+        units.extend(WorkUnit(name, scale) for name in BENCHMARK_NAMES)
+    for config in configs:
+        units.extend(
+            WorkUnit(name, scale, config) for name in BENCHMARK_NAMES
+        )
+    return units
+
+
+#: The stable-phase study configuration shared by fig5, the SimPoint
+#: comparison, and the related-work baselines (25% similarity, min-8).
+_STABLE_CONFIG = ClassifierConfig(
+    num_counters=16,
+    table_entries=32,
+    similarity_threshold=0.25,
+    min_count_threshold=8,
+)
+
+#: The final §5.1 configuration driving all prediction figures (7-9).
+_PAPER_CONFIG = ClassifierConfig.paper_default()
+
+
 # ---------------------------------------------------------------------------
 # Table 1 — the machine model
 # ---------------------------------------------------------------------------
 
 
-@register("table1")
+@register("table1", units=_grid_units)
 def table1(scale: float = 1.0) -> ExperimentResult:
     """Baseline simulation model sanity (paper Table 1).
 
@@ -110,7 +150,25 @@ def table1(scale: float = 1.0) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 
 
-@register("fig2")
+#: Figure 2 grid: label -> config (table entries 16/32/64/infinite).
+_FIG2_CONFIGS = {
+    label: ClassifierConfig(
+        num_counters=32,
+        table_entries=size,
+        similarity_threshold=0.125,
+        min_count_threshold=0,
+    )
+    for label, size in (
+        ("16 entry", 16), ("32 entry", 32), ("64 entry", 64),
+        ("inf entry", None),
+    )
+}
+
+
+@register(
+    "fig2",
+    units=lambda scale: _grid_units(scale, _FIG2_CONFIGS.values()),
+)
 def fig2(scale: float = 1.0) -> ExperimentResult:
     """CPI CoV and phase counts vs signature-table entries (Figure 2).
 
@@ -119,17 +177,9 @@ def fig2(scale: float = 1.0) -> ExperimentResult:
     finite table inflates the number of phases dramatically (signatures
     lost to replacement); CoV rises slightly with more entries.
     """
-    sizes: Sequence[Optional[int]] = (16, 32, 64, None)
-    labels = ["16 entry", "32 entry", "64 entry", "inf entry"]
     cov_columns: Dict[str, List[float]] = {}
     phase_columns: Dict[str, List[float]] = {}
-    for size, label in zip(sizes, labels):
-        config = ClassifierConfig(
-            num_counters=32,
-            table_entries=size,
-            similarity_threshold=0.125,
-            min_count_threshold=0,
-        )
+    for label, config in _FIG2_CONFIGS.items():
         covs, phases, _ = _covs_and_phases(config, scale)
         cov_columns[label] = [c * 100 for c in covs]
         phase_columns[label] = phases
@@ -156,7 +206,22 @@ def fig2(scale: float = 1.0) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 
 
-@register("fig3")
+#: Figure 3 grid: label -> config (8/16/32/64 signature counters).
+_FIG3_CONFIGS = {
+    f"{dim} dim": ClassifierConfig(
+        num_counters=dim,
+        table_entries=32,
+        similarity_threshold=0.125,
+        min_count_threshold=0,
+    )
+    for dim in (8, 16, 32, 64)
+}
+
+
+@register(
+    "fig3",
+    units=lambda scale: _grid_units(scale, _FIG3_CONFIGS.values()),
+)
 def fig3(scale: float = 1.0) -> ExperimentResult:
     """CPI CoV and phase counts vs counters per signature (Figure 3).
 
@@ -166,19 +231,12 @@ def fig3(scale: float = 1.0) -> ExperimentResult:
     (CoV far above the 16+ configurations); whole-program CoV is many
     times the per-phase CoV.
     """
-    dims = (8, 16, 32, 64)
     cov_columns: Dict[str, List[float]] = {}
     phase_columns: Dict[str, List[float]] = {}
-    for dim in dims:
-        config = ClassifierConfig(
-            num_counters=dim,
-            table_entries=32,
-            similarity_threshold=0.125,
-            min_count_threshold=0,
-        )
+    for label, config in _FIG3_CONFIGS.items():
         covs, phases, _ = _covs_and_phases(config, scale)
-        cov_columns[f"{dim} dim"] = [c * 100 for c in covs]
-        phase_columns[f"{dim} dim"] = phases
+        cov_columns[label] = [c * 100 for c in covs]
+        phase_columns[label] = phases
     cov_columns["Whole Program"] = [
         cached_trace(name, scale).whole_program_cov() * 100
         for name in BENCHMARK_NAMES
@@ -205,16 +263,24 @@ def fig3(scale: float = 1.0) -> ExperimentResult:
 # Figure 4 — the transition phase
 # ---------------------------------------------------------------------------
 
-_FIG4_CONFIGS = (
-    ("12.5% similar+0 min", 0.125, 0),
-    ("12.5% similar+4 min", 0.125, 4),
-    ("12.5% similar+8 min", 0.125, 8),
-    ("25% similar+4 min", 0.25, 4),
-    ("25% similar+8 min", 0.25, 8),
+#: Figure 4 grid: label -> config (similarity x min-count cross).
+_FIG4_CONFIGS = {
+    f"{threshold * 100:g}% similar+{min_count} min": ClassifierConfig(
+        num_counters=16,
+        table_entries=32,
+        similarity_threshold=threshold,
+        min_count_threshold=min_count,
+    )
+    for threshold, min_count in (
+        (0.125, 0), (0.125, 4), (0.125, 8), (0.25, 4), (0.25, 8),
+    )
+}
+
+
+@register(
+    "fig4",
+    units=lambda scale: _grid_units(scale, _FIG4_CONFIGS.values()),
 )
-
-
-@register("fig4")
 def fig4(scale: float = 1.0) -> ExperimentResult:
     """Transition-phase evaluation (Figure 4).
 
@@ -229,13 +295,7 @@ def fig4(scale: float = 1.0) -> ExperimentResult:
     phase_columns: Dict[str, List[float]] = {}
     transition_columns: Dict[str, List[float]] = {}
     mispredict_columns: Dict[str, List[float]] = {}
-    for label, threshold, min_count in _FIG4_CONFIGS:
-        config = ClassifierConfig(
-            num_counters=16,
-            table_entries=32,
-            similarity_threshold=threshold,
-            min_count_threshold=min_count,
-        )
+    for label, config in _FIG4_CONFIGS.items():
         covs, phases, transitions = _covs_and_phases(config, scale)
         cov_columns[label] = [c * 100 for c in covs]
         phase_columns[label] = phases
@@ -279,7 +339,10 @@ def fig4(scale: float = 1.0) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 
 
-@register("fig5")
+@register(
+    "fig5",
+    units=lambda scale: _grid_units(scale, (_STABLE_CONFIG,)),
+)
 def fig5(scale: float = 1.0) -> ExperimentResult:
     """Average stable / transition phase lengths (Figure 5).
 
@@ -287,12 +350,7 @@ def fig5(scale: float = 1.0) -> ExperimentResult:
     longer than transition runs for every benchmark, with larger
     variability; gzip/g and perl/d have exceptionally long stable runs.
     """
-    config = ClassifierConfig(
-        num_counters=16,
-        table_entries=32,
-        similarity_threshold=0.25,
-        min_count_threshold=8,
-    )
+    config = _STABLE_CONFIG
     stable_mean, stable_std, trans_mean, trans_std = [], [], [], []
     for name in BENCHMARK_NAMES:
         run = cached_classified(name, config, scale)
@@ -328,16 +386,29 @@ def fig5(scale: float = 1.0) -> ExperimentResult:
 # Figure 6 — adaptive (dynamic) similarity thresholds
 # ---------------------------------------------------------------------------
 
-_FIG6_CONFIGS = (
-    ("25% static", 0.25, None),
-    ("12.5% static", 0.125, None),
-    ("25% dyn+50% dev", 0.25, 0.50),
-    ("25% dyn+25% dev", 0.25, 0.25),
-    ("25% dyn+12.5% dev", 0.25, 0.125),
+#: Figure 6 grid: label -> config (static vs dynamic thresholds).
+_FIG6_CONFIGS = {
+    label: ClassifierConfig(
+        num_counters=16,
+        table_entries=32,
+        similarity_threshold=threshold,
+        min_count_threshold=8,
+        perf_dev_threshold=deviation,
+    )
+    for label, threshold, deviation in (
+        ("25% static", 0.25, None),
+        ("12.5% static", 0.125, None),
+        ("25% dyn+50% dev", 0.25, 0.50),
+        ("25% dyn+25% dev", 0.25, 0.25),
+        ("25% dyn+12.5% dev", 0.25, 0.125),
+    )
+}
+
+
+@register(
+    "fig6",
+    units=lambda scale: _grid_units(scale, _FIG6_CONFIGS.values()),
 )
-
-
-@register("fig6")
 def fig6(scale: float = 1.0) -> ExperimentResult:
     """Adaptive threshold evaluation (Figure 6).
 
@@ -351,14 +422,7 @@ def fig6(scale: float = 1.0) -> ExperimentResult:
     cov_columns: Dict[str, List[float]] = {}
     phase_columns: Dict[str, List[float]] = {}
     transition_columns: Dict[str, List[float]] = {}
-    for label, threshold, deviation in _FIG6_CONFIGS:
-        config = ClassifierConfig(
-            num_counters=16,
-            table_entries=32,
-            similarity_threshold=threshold,
-            min_count_threshold=8,
-            perf_dev_threshold=deviation,
-        )
+    for label, config in _FIG6_CONFIGS.items():
         covs, phases, transitions = _covs_and_phases(config, scale)
         cov_columns[label] = [c * 100 for c in covs]
         phase_columns[label] = phases
@@ -409,7 +473,10 @@ NEXT_PHASE_ROSTER = {
 }
 
 
-@register("fig7")
+@register(
+    "fig7",
+    units=lambda scale: _grid_units(scale, (_PAPER_CONFIG,)),
+)
 def fig7(scale: float = 1.0) -> ExperimentResult:
     """Next-interval phase prediction (Figure 7).
 
@@ -419,7 +486,7 @@ def fig7(scale: float = 1.0) -> ExperimentResult:
     small correct-table segment; confidence trades coverage for
     accuracy.
     """
-    config = ClassifierConfig.paper_default()
+    config = _PAPER_CONFIG
     columns: Dict[str, List[float]] = {c: [] for c in NEXT_CATEGORIES}
     accuracy, conf_accuracy, coverage = [], [], []
     labels = []
@@ -498,7 +565,10 @@ CHANGE_ROSTER = {
 }
 
 
-@register("fig8")
+@register(
+    "fig8",
+    units=lambda scale: _grid_units(scale, (_PAPER_CONFIG,)),
+)
 def fig8(scale: float = 1.0) -> ExperimentResult:
     """Phase change prediction (Figure 8).
 
@@ -508,7 +578,7 @@ def fig8(scale: float = 1.0) -> ExperimentResult:
     misses only); confidence trims mispredictions at the cost of
     coverage.
     """
-    config = ClassifierConfig.paper_default()
+    config = _PAPER_CONFIG
     roster = list(CHANGE_ROSTER)
     columns: Dict[str, List[float]] = {c: [] for c in CHANGE_CATEGORIES}
     accuracy = []
@@ -554,7 +624,10 @@ def fig8(scale: float = 1.0) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 
 
-@register("fig9")
+@register(
+    "fig9",
+    units=lambda scale: _grid_units(scale, (_PAPER_CONFIG,)),
+)
 def fig9(scale: float = 1.0) -> ExperimentResult:
     """Run-length class distribution and length prediction (Figure 9).
 
@@ -564,7 +637,7 @@ def fig9(scale: float = 1.0) -> ExperimentResult:
     Expected shape: the shortest class dominates for most programs;
     misprediction rates are low overall.
     """
-    config = ClassifierConfig.paper_default()
+    config = _PAPER_CONFIG
     class_columns: Dict[str, List[float]] = {
         label: [] for label in LENGTH_CLASS_LABELS
     }
@@ -606,7 +679,10 @@ def fig9(scale: float = 1.0) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 
 
-@register("simpoint")
+@register(
+    "simpoint",
+    units=lambda scale: _grid_units(scale, (_STABLE_CONFIG,)),
+)
 def simpoint_comparison(scale: float = 1.0) -> ExperimentResult:
     """Online classifier vs the offline SimPoint algorithm (§4.4).
 
@@ -622,10 +698,7 @@ def simpoint_comparison(scale: float = 1.0) -> ExperimentResult:
     from repro.analysis.cov import cov_of
     from repro.offline import SimPointClassifier
 
-    config = ClassifierConfig(
-        num_counters=16, table_entries=32,
-        similarity_threshold=0.25, min_count_threshold=8,
-    )
+    config = _STABLE_CONFIG
     online_cov, online_phases = [], []
     offline_cov, offline_phases, estimate_error = [], [], []
     for name in BENCHMARK_NAMES:
@@ -683,7 +756,10 @@ def simpoint_comparison(scale: float = 1.0) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 
 
-@register("baselines")
+@register(
+    "baselines",
+    units=lambda scale: _grid_units(scale, (_STABLE_CONFIG,)),
+)
 def baselines_comparison(scale: float = 1.0) -> ExperimentResult:
     """Code-signature classification and phase-ID metric prediction vs
     the related-work baselines the paper discusses in §2.
@@ -702,10 +778,7 @@ def baselines_comparison(scale: float = 1.0) -> ExperimentResult:
         evaluate_metric_predictor,
     )
 
-    config = ClassifierConfig(
-        num_counters=16, table_entries=32,
-        similarity_threshold=0.25, min_count_threshold=8,
-    )
+    config = _STABLE_CONFIG
     ours_cov, ws_cov = [], []
     ours_phases, ws_phases = [], []
     mape = {"last value": [], "EWMA": [], "history table": [],

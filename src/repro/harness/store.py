@@ -1,0 +1,381 @@
+"""Content-addressed on-disk store for traces and classification runs.
+
+The in-process caches (:mod:`repro.harness.cache`) die with the
+process, so every fresh CLI invocation, pytest worker, or CI job used
+to pay full trace generation and classification again. The
+:class:`ResultStore` persists both payload kinds under a content
+address: a SHA-256 over the benchmark name, scale, the full
+:class:`~repro.core.config.ClassifierConfig` (``None`` for raw
+traces), and the store schema version. Anything that would change the
+payload changes the key, so entries never need invalidation — a schema
+bump simply makes old entries unreachable.
+
+Durability rules:
+
+- writes go to a private temp file and are published with one atomic
+  ``os.replace``, so concurrent writers race benignly (last write wins,
+  readers only ever see complete files);
+- any unreadable, truncated, or mismatched entry is treated as a miss
+  (counted in telemetry, best-effort unlinked), never an exception;
+- trace payloads reuse :func:`repro.workloads.io.save_trace` /
+  :func:`~repro.workloads.io.load_trace`, so the store format is the
+  library's own exact round-trip format.
+
+The default location is ``$REPRO_PHASES_STORE`` when set, else
+``$XDG_CACHE_HOME/repro-phases/store``, else
+``~/.cache/repro-phases/store``. ``repro-phases cache {stats,clear}``
+inspects and empties it from the command line.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, Optional, TYPE_CHECKING, Union
+
+import numpy as np
+
+from repro.core import ClassificationResult, ClassificationRun, ClassifierConfig
+from repro.workloads.io import load_trace, save_trace
+from repro.workloads.trace import IntervalTrace
+
+if TYPE_CHECKING:  # pragma: no cover - import-time typing only
+    from repro.telemetry import Telemetry
+
+#: Bump when the payload layout or the meaning of a key field changes;
+#: old entries become unreachable (a miss), never misread.
+SCHEMA_VERSION = 1
+
+_KINDS = ("trace", "classified")
+
+
+def default_store_root() -> Path:
+    """The store location honoring ``REPRO_PHASES_STORE`` / XDG."""
+    override = os.environ.get("REPRO_PHASES_STORE")
+    if override:
+        return Path(override).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro-phases" / "store"
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Entry counts and byte totals per payload kind."""
+
+    root: Path
+    entries: Dict[str, int]
+    bytes: Dict[str, int]
+
+    @property
+    def total_entries(self) -> int:
+        return sum(self.entries.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes.values())
+
+    def render(self) -> str:
+        lines = [f"store: {self.root}"]
+        for kind in _KINDS:
+            lines.append(
+                f"  {kind:10s} {self.entries.get(kind, 0):6d} entries  "
+                f"{self.bytes.get(kind, 0):12d} bytes"
+            )
+        lines.append(
+            f"  {'total':10s} {self.total_entries:6d} entries  "
+            f"{self.total_bytes:12d} bytes"
+        )
+        return "\n".join(lines)
+
+
+class ResultStore:
+    """Persistent content-addressed storage for harness work products."""
+
+    def __init__(
+        self,
+        root: "Optional[Union[str, Path]]" = None,
+        telemetry: "Optional[Telemetry]" = None,
+    ) -> None:
+        self.root = (
+            Path(root).expanduser() if root is not None
+            else default_store_root()
+        )
+        self._telemetry = telemetry
+        self._tmp_serial = 0
+
+    def set_telemetry(self, telemetry: "Optional[Telemetry]") -> None:
+        self._telemetry = telemetry
+
+    # -- keys -----------------------------------------------------------------
+
+    @staticmethod
+    def _key(
+        kind: str,
+        benchmark: str,
+        scale: float,
+        config: Optional[ClassifierConfig],
+    ) -> str:
+        identity = {
+            "schema": SCHEMA_VERSION,
+            "kind": kind,
+            "benchmark": benchmark,
+            # float hex is exact and stable across platforms, unlike repr
+            "scale": float(scale).hex(),
+            "config": None if config is None else asdict(config),
+        }
+        canonical = json.dumps(identity, sort_keys=True, default=str)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def _path(self, kind: str, key: str) -> Path:
+        return self.root / kind / key[:2] / f"{key}.npz"
+
+    def trace_path(self, benchmark: str, scale: float) -> Path:
+        return self._path(
+            "trace", self._key("trace", benchmark, scale, None)
+        )
+
+    def classified_path(
+        self, benchmark: str, scale: float, config: ClassifierConfig
+    ) -> Path:
+        return self._path(
+            "classified",
+            self._key("classified", benchmark, scale, config),
+        )
+
+    # -- telemetry ------------------------------------------------------------
+
+    def _count(self, name: str, amount: int = 1, help: str = "") -> None:
+        if self._telemetry is not None and amount:
+            self._telemetry.metrics.counter(
+                f"repro_harness_store_{name}_total", help
+            ).inc(amount)
+
+    def _record_read(self, path: Path, hit: bool, corrupt: bool = False):
+        self._count("hits" if hit else "misses", help="Store lookups")
+        if corrupt:
+            self._count(
+                "corrupt", help="Store entries dropped as unreadable"
+            )
+        if hit:
+            try:
+                self._count(
+                    "read_bytes", path.stat().st_size,
+                    help="Bytes read from the store",
+                )
+            except OSError:  # pragma: no cover - raced deletion
+                pass
+
+    # -- I/O ------------------------------------------------------------------
+
+    def _publish(self, tmp: Path, final: Path) -> None:
+        final.parent.mkdir(parents=True, exist_ok=True)
+        os.replace(tmp, final)
+
+    def _tmp_for(self, final: Path) -> Path:
+        self._tmp_serial += 1
+        # Unique per (process, call) so concurrent writers never share a
+        # temp file; suffix kept ``.npz`` for save_trace.
+        return final.with_name(
+            f"{final.stem}.{os.getpid()}.{self._tmp_serial}.tmp.npz"
+        )
+
+    def _discard(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def get_trace(
+        self, benchmark: str, scale: float
+    ) -> Optional[IntervalTrace]:
+        """Load a stored trace, or ``None`` (miss / unreadable entry)."""
+        path = self.trace_path(benchmark, scale)
+        if not path.exists():
+            self._record_read(path, hit=False)
+            return None
+        try:
+            trace = load_trace(path)
+        except Exception:
+            self._discard(path)
+            self._record_read(path, hit=False, corrupt=True)
+            return None
+        self._record_read(path, hit=True)
+        return trace
+
+    def put_trace(
+        self, benchmark: str, scale: float, trace: IntervalTrace
+    ) -> Optional[Path]:
+        """Persist a trace; returns the entry path, or ``None`` if the
+        write failed (counted, never raised)."""
+        final = self.trace_path(benchmark, scale)
+        tmp = self._tmp_for(final)
+        try:
+            final.parent.mkdir(parents=True, exist_ok=True)
+            save_trace(trace, tmp)
+            written = tmp.stat().st_size
+            self._publish(tmp, final)
+        except Exception:
+            self._discard(tmp)
+            self._count("write_errors", help="Failed store writes")
+            return None
+        self._count("writes", help="Store entries written")
+        self._count(
+            "written_bytes", written, help="Bytes written to the store"
+        )
+        return final
+
+    def get_classified(
+        self, benchmark: str, scale: float, config: ClassifierConfig
+    ) -> Optional[ClassificationRun]:
+        """Load a stored classification run, or ``None``."""
+        path = self.classified_path(benchmark, scale, config)
+        if not path.exists():
+            self._record_read(path, hit=False)
+            return None
+        try:
+            run = _read_classified(path, benchmark)
+        except Exception:
+            self._discard(path)
+            self._record_read(path, hit=False, corrupt=True)
+            return None
+        self._record_read(path, hit=True)
+        return run
+
+    def put_classified(
+        self,
+        benchmark: str,
+        scale: float,
+        config: ClassifierConfig,
+        run: ClassificationRun,
+    ) -> Optional[Path]:
+        """Persist a classification run (same failure contract as
+        :meth:`put_trace`)."""
+        final = self.classified_path(benchmark, scale, config)
+        tmp = self._tmp_for(final)
+        try:
+            final.parent.mkdir(parents=True, exist_ok=True)
+            _write_classified(tmp, benchmark, run)
+            written = tmp.stat().st_size
+            self._publish(tmp, final)
+        except Exception:
+            self._discard(tmp)
+            self._count("write_errors", help="Failed store writes")
+            return None
+        self._count("writes", help="Store entries written")
+        self._count(
+            "written_bytes", written, help="Bytes written to the store"
+        )
+        return final
+
+    # -- maintenance ----------------------------------------------------------
+
+    def _entries(self, kind: str):
+        base = self.root / kind
+        if not base.is_dir():
+            return
+        for path in sorted(base.glob("*/*.npz")):
+            if not path.name.endswith(".tmp.npz"):
+                yield path
+
+    def stats(self) -> StoreStats:
+        """Count entries and bytes on disk (no payloads are read)."""
+        entries: Dict[str, int] = {}
+        sizes: Dict[str, int] = {}
+        for kind in _KINDS:
+            count = total = 0
+            for path in self._entries(kind):
+                try:
+                    total += path.stat().st_size
+                except OSError:  # pragma: no cover - raced deletion
+                    continue
+                count += 1
+            entries[kind] = count
+            sizes[kind] = total
+        return StoreStats(root=self.root, entries=entries, bytes=sizes)
+
+    def clear(self) -> int:
+        """Delete every entry (and stray temp file); returns the number
+        of entries removed."""
+        removed = 0
+        for kind in _KINDS:
+            base = self.root / kind
+            if not base.is_dir():
+                continue
+            for path in sorted(base.glob("*/*.npz")):
+                entry = not path.name.endswith(".tmp.npz")
+                self._discard(path)
+                removed += int(entry)
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultStore(root={str(self.root)!r})"
+
+
+# -- classified payload format ------------------------------------------------
+
+
+def _write_classified(
+    path: Path, benchmark: str, run: ClassificationRun
+) -> None:
+    results = run.results
+    header = {
+        "schema": SCHEMA_VERSION,
+        "benchmark": benchmark,
+        "num_phases": run.num_phases,
+        "evictions": run.evictions,
+    }
+    np.savez_compressed(
+        path,
+        header=np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8
+        ),
+        phase_ids=np.array([r.phase_id for r in results], dtype=np.int64),
+        matched=np.array([r.matched for r in results], dtype=bool),
+        distances=np.array([r.distance for r in results], dtype=np.float64),
+        tightened=np.array(
+            [r.threshold_tightened for r in results], dtype=bool
+        ),
+        allocated=np.array(
+            [r.new_phase_allocated for r in results], dtype=bool
+        ),
+    )
+
+
+def _read_classified(path: Path, benchmark: str) -> ClassificationRun:
+    with np.load(path, allow_pickle=False) as data:
+        header = json.loads(bytes(data["header"]).decode("utf-8"))
+        phase_ids = data["phase_ids"]
+        matched = data["matched"]
+        distances = data["distances"]
+        tightened = data["tightened"]
+        allocated = data["allocated"]
+    if header.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"store schema {header.get('schema')!r} != {SCHEMA_VERSION}"
+        )
+    if header.get("benchmark") != benchmark:
+        raise ValueError("entry does not belong to this key")
+    if not (
+        phase_ids.shape == matched.shape == distances.shape
+        == tightened.shape == allocated.shape
+    ):
+        raise ValueError("inconsistent classified payload arrays")
+    results = [
+        ClassificationResult(
+            phase_id=int(phase_ids[i]),
+            matched=bool(matched[i]),
+            distance=float(distances[i]),
+            threshold_tightened=bool(tightened[i]),
+            new_phase_allocated=bool(allocated[i]),
+        )
+        for i in range(phase_ids.shape[0])
+    ]
+    return ClassificationRun(
+        results=results,
+        num_phases=int(header["num_phases"]),
+        evictions=int(header["evictions"]),
+    )

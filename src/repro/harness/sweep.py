@@ -18,7 +18,7 @@ transition fraction, and last-value misprediction rate.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 import numpy as np
 
@@ -27,8 +27,12 @@ from repro.analysis.tables import render_table
 from repro.core.config import ClassifierConfig
 from repro.errors import ConfigurationError
 from repro.harness.cache import cached_classified, cached_trace
+from repro.harness.engine import WorkUnit
 from repro.prediction.composite import CompositePhasePredictor
 from repro.workloads import BENCHMARK_NAMES
+
+if TYPE_CHECKING:  # pragma: no cover - import-time typing only
+    from repro.harness.engine import ExperimentEngine
 
 #: Metrics the sweep can collect, with printable labels.
 METRICS = {
@@ -88,6 +92,51 @@ class SweepResult:
         )
 
 
+def _resolve_base(base: Optional[ClassifierConfig]) -> ClassifierConfig:
+    """The sweep's default pivot: §5.1 without adaptive thresholds."""
+    if base is not None:
+        return base
+    return ClassifierConfig(
+        num_counters=16, table_entries=32,
+        similarity_threshold=0.25, min_count_threshold=8,
+    )
+
+
+def sweep_work_units(
+    field_name: str,
+    values: Sequence[object],
+    base: Optional[ClassifierConfig] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    scale: float = 1.0,
+) -> List[WorkUnit]:
+    """The (value x benchmark) work-unit grid a sweep will consume —
+    hand these to :meth:`ExperimentEngine.ensure` to compute them in
+    parallel / from the store before calling :func:`sweep_classifier`."""
+    base = _resolve_base(base)
+    names = list(benchmarks or BENCHMARK_NAMES)
+    units = [WorkUnit(name, scale) for name in names]
+    for value in values:
+        config = replace(base, **{field_name: value})
+        units.extend(WorkUnit(name, scale, config) for name in names)
+    return units
+
+
+def _extract_metrics(run, trace, metrics: Sequence[str]) -> Dict[str, float]:
+    """Every requested metric of one classification run, computed in a
+    single pass (the last-value predictor walk is the expensive one)."""
+    extracted: Dict[str, float] = {}
+    if "cov" in metrics:
+        extracted["cov"] = weighted_cov(run, trace) * 100
+    if "phases" in metrics:
+        extracted["phases"] = float(run.num_phases)
+    if "transition" in metrics:
+        extracted["transition"] = run.transition_fraction * 100
+    if "lv_mispredict" in metrics:
+        stats = CompositePhasePredictor(None).run(run.phase_ids)
+        extracted["lv_mispredict"] = (1.0 - stats.accuracy) * 100
+    return extracted
+
+
 def sweep_classifier(
     field_name: str,
     values: Sequence[object],
@@ -96,6 +145,7 @@ def sweep_classifier(
                               "lv_mispredict"),
     benchmarks: Optional[Sequence[str]] = None,
     scale: float = 1.0,
+    engine: "Optional[ExperimentEngine]" = None,
 ) -> SweepResult:
     """Sweep one ``ClassifierConfig`` field over ``values``.
 
@@ -113,6 +163,10 @@ def sweep_classifier(
         effects are not confounded).
     metrics / benchmarks / scale:
         What to collect, where, and at which run length.
+    engine:
+        An :class:`~repro.harness.engine.ExperimentEngine`; when given,
+        the whole (value x benchmark) grid is made resident first —
+        in parallel and/or from the on-disk store.
     """
     if not values:
         raise ConfigurationError("values must be non-empty")
@@ -121,16 +175,16 @@ def sweep_classifier(
         raise ConfigurationError(
             f"unknown metrics {unknown}; available: {sorted(METRICS)}"
         )
-    if base is None:
-        base = ClassifierConfig(
-            num_counters=16, table_entries=32,
-            similarity_threshold=0.25, min_count_threshold=8,
-        )
+    base = _resolve_base(base)
     if not hasattr(base, field_name):
         raise ConfigurationError(
             f"ClassifierConfig has no field {field_name!r}"
         )
     names = list(benchmarks or BENCHMARK_NAMES)
+    if engine is not None:
+        engine.ensure(sweep_work_units(
+            field_name, values, base, names, scale
+        ))
 
     result = SweepResult(
         field_name=field_name,
@@ -138,25 +192,22 @@ def sweep_classifier(
         benchmarks=names,
         data={metric: {} for metric in metrics},
     )
+    # Metric extraction is memoized per run *object*: distinct swept
+    # values can map to the same cached run (a value equal to the base,
+    # say), and the last-value predictor walk is too expensive to repeat.
+    extracted_by_run: Dict[int, Dict[str, float]] = {}
     for value in values:
         config = replace(base, **{field_name: value})
         collected: Dict[str, List[float]] = {m: [] for m in metrics}
         for name in names:
             trace = cached_trace(name, scale)
             run = cached_classified(name, config, scale)
-            if "cov" in metrics:
-                collected["cov"].append(weighted_cov(run, trace) * 100)
-            if "phases" in metrics:
-                collected["phases"].append(float(run.num_phases))
-            if "transition" in metrics:
-                collected["transition"].append(
-                    run.transition_fraction * 100
-                )
-            if "lv_mispredict" in metrics:
-                stats = CompositePhasePredictor(None).run(run.phase_ids)
-                collected["lv_mispredict"].append(
-                    (1.0 - stats.accuracy) * 100
-                )
+            extracted = extracted_by_run.get(id(run))
+            if extracted is None:
+                extracted = _extract_metrics(run, trace, metrics)
+                extracted_by_run[id(run)] = extracted
+            for metric in metrics:
+                collected[metric].append(extracted[metric])
         for metric in metrics:
             result.data[metric][value] = collected[metric]
     return result

@@ -7,12 +7,32 @@ their own objects.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.core import ClassifierConfig, PhaseClassifier
 from repro.workloads import CodeRegion, benchmark
 from repro.workloads.trace import Interval, IntervalTrace
+
+
+@pytest.fixture(scope="session", autouse=True)
+def isolated_result_store(tmp_path_factory):
+    """Point the on-disk result store at a per-session temp directory.
+
+    The CLI installs a store by default, so tests driving ``main()``
+    would otherwise read and write the developer's real
+    ``~/.cache/repro-phases`` store.
+    """
+    previous = os.environ.get("REPRO_PHASES_STORE")
+    root = tmp_path_factory.mktemp("result-store")
+    os.environ["REPRO_PHASES_STORE"] = str(root)
+    yield root
+    if previous is None:
+        os.environ.pop("REPRO_PHASES_STORE", None)
+    else:
+        os.environ["REPRO_PHASES_STORE"] = previous
 
 
 @pytest.fixture

@@ -108,3 +108,30 @@ class TestAccumulatorTable:
         table.update(0x400, 10)
         table.update(0x400, 20)
         assert table.counters.max() == 30
+
+    def test_batch_is_exact_above_float64_mantissa(self):
+        # A float64 bincount would round 2^53 + 1 + 1 down to 2^53; the
+        # batch path must match the hardware-faithful integer updates
+        # exactly, bit for bit, even at these magnitudes.
+        pcs = np.array([0x400, 0x400, 0x400], dtype=np.int64)
+        counts = np.array([2**53, 1, 1], dtype=np.int64)
+
+        batched = AccumulatorTable(8, counter_bits=62)
+        batched.update_batch(pcs, counts)
+        sequential = AccumulatorTable(8, counter_bits=62)
+        for pc, count in zip(pcs, counts):
+            sequential.update(int(pc), int(count))
+
+        assert np.array_equal(batched.counters, sequential.counters)
+        assert batched.counters.max() == 2**53 + 2
+        assert batched.total_increment == sequential.total_increment
+
+    def test_batch_exactness_boundary(self):
+        # Just under the 2^53 fast-path cutoff the float64 bincount is
+        # provably exact; verify both paths agree around the boundary.
+        for total in (2**53 - 2, 2**53):
+            counts = np.array([total - 1, 1], dtype=np.int64)
+            pcs = np.array([0x400, 0x400], dtype=np.int64)
+            batched = AccumulatorTable(8, counter_bits=62)
+            batched.update_batch(pcs, counts)
+            assert batched.counters.max() == total

@@ -1,0 +1,188 @@
+"""Tests for the content-addressed on-disk result store.
+
+The failure-mode contract matters most: a corrupted payload, a
+schema-version mismatch, a stale entry under the wrong key, and
+concurrent writers racing the same key must all degrade to a recompute
+(a telemetry miss), never an exception.
+"""
+
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.core import ClassifierConfig, PhaseClassifier
+from repro.harness import store as store_module
+from repro.harness.store import ResultStore, default_store_root
+from repro.telemetry import Telemetry
+from repro.workloads import benchmark
+
+SCALE = 0.05
+NAME = "gzip/p"
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return benchmark(NAME, scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def run(trace):
+    return PhaseClassifier(ClassifierConfig.paper_default()).classify_trace(
+        trace
+    )
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(root=tmp_path / "store", telemetry=Telemetry())
+
+
+def _counter(store, name):
+    metric = store._telemetry.metrics.get(f"repro_harness_store_{name}_total")
+    return 0 if metric is None else metric.value
+
+
+class TestRoundTrip:
+    def test_trace_round_trip_is_exact(self, store, trace):
+        assert store.put_trace(NAME, SCALE, trace) is not None
+        loaded = store.get_trace(NAME, SCALE)
+        assert loaded is not None
+        assert len(loaded) == len(trace)
+        np.testing.assert_array_equal(loaded.cpis, trace.cpis)
+        for a, b in zip(loaded.intervals, trace.intervals):
+            np.testing.assert_array_equal(a.branch_pcs, b.branch_pcs)
+            np.testing.assert_array_equal(a.instr_counts, b.instr_counts)
+            assert a.cpi == b.cpi
+
+    def test_classified_round_trip_is_exact(self, store, run):
+        config = ClassifierConfig.paper_default()
+        assert store.put_classified(NAME, SCALE, config, run) is not None
+        loaded = store.get_classified(NAME, SCALE, config)
+        assert loaded == run  # dataclass value equality, every field
+
+    def test_miss_on_empty_store(self, store):
+        assert store.get_trace(NAME, SCALE) is None
+        assert store.get_classified(
+            NAME, SCALE, ClassifierConfig.paper_default()
+        ) is None
+        assert _counter(store, "misses") == 2
+        assert _counter(store, "hits") == 0
+
+    def test_keys_separate_scales_and_configs(self, store, trace, run):
+        config = ClassifierConfig.paper_default()
+        store.put_trace(NAME, SCALE, trace)
+        store.put_classified(NAME, SCALE, config, run)
+        assert store.get_trace(NAME, SCALE * 2) is None
+        other = ClassifierConfig(min_count_threshold=3)
+        assert store.get_classified(NAME, SCALE, other) is None
+        assert store.get_classified("gcc/1", SCALE, config) is None
+
+
+class TestFailureModes:
+    def test_corrupted_trace_payload_is_a_miss(self, store, trace):
+        path = store.put_trace(NAME, SCALE, trace)
+        path.write_bytes(b"not an npz file at all")
+        assert store.get_trace(NAME, SCALE) is None
+        assert _counter(store, "corrupt") == 1
+        assert not path.exists()  # dropped, so the next write heals it
+
+    def test_corrupted_classified_payload_is_a_miss(self, store, run):
+        config = ClassifierConfig.paper_default()
+        path = store.put_classified(NAME, SCALE, config, run)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        assert store.get_classified(NAME, SCALE, config) is None
+        assert _counter(store, "corrupt") == 1
+        assert not path.exists()
+
+    def test_schema_version_mismatch_is_a_miss(
+        self, store, run, monkeypatch
+    ):
+        # Write under today's schema, then pretend the library moved on:
+        # the entry lands at the *new* key's path but carries the old
+        # header, exercising the in-payload schema check.
+        config = ClassifierConfig.paper_default()
+        old_path = store.put_classified(NAME, SCALE, config, run)
+        monkeypatch.setattr(store_module, "SCHEMA_VERSION", 999)
+        new_path = store.classified_path(NAME, SCALE, config)
+        assert new_path != old_path  # schema is part of the key
+        new_path.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copy(old_path, new_path)
+        assert store.get_classified(NAME, SCALE, config) is None
+        assert _counter(store, "corrupt") == 1
+
+    def test_entry_under_wrong_key_is_a_miss(self, store, run):
+        # A payload for one benchmark copied under another's key must be
+        # rejected by the header check, not returned.
+        config = ClassifierConfig.paper_default()
+        path = store.put_classified(NAME, SCALE, config, run)
+        other = store.classified_path("gcc/1", SCALE, config)
+        other.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copy(path, other)
+        assert store.get_classified("gcc/1", SCALE, config) is None
+        assert _counter(store, "corrupt") == 1
+
+    def test_concurrent_writers_race_benignly(self, tmp_path, trace):
+        # Two store handles (two "processes") racing the same key: both
+        # writes succeed, readers only ever see a complete entry.
+        a = ResultStore(root=tmp_path / "store")
+        b = ResultStore(root=tmp_path / "store")
+        assert a.put_trace(NAME, SCALE, trace) is not None
+        assert b.put_trace(NAME, SCALE, trace) is not None
+        loaded = a.get_trace(NAME, SCALE)
+        assert loaded is not None and len(loaded) == len(trace)
+
+    def test_stray_temp_files_are_invisible(self, store, trace):
+        # A writer that died mid-write leaves only a temp file behind;
+        # readers and stats must ignore it.
+        final = store.trace_path(NAME, SCALE)
+        final.parent.mkdir(parents=True, exist_ok=True)
+        final.with_name(f"{final.stem}.999.1.tmp.npz").write_bytes(b"junk")
+        assert store.get_trace(NAME, SCALE) is None
+        assert store.stats().total_entries == 0
+        store.put_trace(NAME, SCALE, trace)
+        assert store.stats().total_entries == 1
+        assert store.clear() == 1  # temp file removed but not counted
+        assert store.stats().total_entries == 0
+
+    def test_unwritable_root_counts_write_error(self, tmp_path, trace, run):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where the store root should be")
+        store = ResultStore(root=blocker, telemetry=Telemetry())
+        assert store.put_trace(NAME, SCALE, trace) is None
+        assert store.put_classified(
+            NAME, SCALE, ClassifierConfig.paper_default(), run
+        ) is None
+        assert _counter(store, "write_errors") == 2
+
+
+class TestMaintenance:
+    def test_stats_counts_entries_and_bytes(self, store, trace, run):
+        store.put_trace(NAME, SCALE, trace)
+        store.put_classified(
+            NAME, SCALE, ClassifierConfig.paper_default(), run
+        )
+        stats = store.stats()
+        assert stats.entries == {"trace": 1, "classified": 1}
+        assert stats.bytes["trace"] > 0 and stats.bytes["classified"] > 0
+        rendered = stats.render()
+        assert "trace" in rendered and "classified" in rendered
+
+    def test_clear_removes_everything(self, store, trace, run):
+        store.put_trace(NAME, SCALE, trace)
+        store.put_classified(
+            NAME, SCALE, ClassifierConfig.paper_default(), run
+        )
+        assert store.clear() == 2
+        assert store.stats().total_entries == 0
+        assert store.get_trace(NAME, SCALE) is None
+
+    def test_default_root_honors_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_PHASES_STORE", str(tmp_path / "envstore"))
+        assert default_store_root() == tmp_path / "envstore"
+        monkeypatch.delenv("REPRO_PHASES_STORE")
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert (
+            default_store_root()
+            == tmp_path / "xdg" / "repro-phases" / "store"
+        )

@@ -1,0 +1,101 @@
+"""Bit-determinism cross-check: ``--jobs 4`` == ``--jobs 1``, cold == warm.
+
+For every registered experiment, the ``ExperimentResult.data`` payload
+must be identical whether the work grid was computed sequentially
+in-process, across a 4-worker pool, or loaded back from the on-disk
+store — the acceptance contract of the parallel engine.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.harness.cache import clear_cache
+from repro.harness.engine import ExperimentEngine
+from repro.harness.experiment import (
+    EXPERIMENT_NAMES,
+    experiment_work_units,
+    run_experiment,
+)
+from repro.harness.store import ResultStore
+
+SCALE = 0.03
+EXPERIMENTS = list(EXPERIMENT_NAMES)
+
+
+def assert_data_equal(a, b, path=""):
+    """Recursive bit-exact comparison of experiment data payloads."""
+    if isinstance(a, dict):
+        assert isinstance(b, dict) and a.keys() == b.keys(), path
+        for key in a:
+            assert_data_equal(a[key], b[key], f"{path}.{key}")
+    elif isinstance(a, (list, tuple)):
+        assert isinstance(b, (list, tuple)) and len(a) == len(b), path
+        for i, (x, y) in enumerate(zip(a, b)):
+            assert_data_equal(x, y, f"{path}[{i}]")
+    elif isinstance(a, np.ndarray):
+        np.testing.assert_array_equal(a, b, err_msg=path)
+    elif isinstance(a, float) or isinstance(a, np.floating):
+        if math.isnan(a):
+            assert math.isnan(b), path
+        else:
+            assert a == b, f"{path}: {a!r} != {b!r}"
+    else:
+        assert a == b, f"{path}: {a!r} != {b!r}"
+
+
+@pytest.fixture(scope="module")
+def sequential_cold(tmp_path_factory):
+    """Reference: every experiment, jobs=1, cold caches, fresh store."""
+    root = tmp_path_factory.mktemp("seq-store")
+    clear_cache()
+    engine = ExperimentEngine(jobs=1, store=ResultStore(root=root))
+    data = {
+        name: run_experiment(name, scale=SCALE, engine=engine).data
+        for name in EXPERIMENTS
+    }
+    clear_cache()
+    return root, data
+
+
+@pytest.fixture(scope="module")
+def parallel_cold(tmp_path_factory, sequential_cold):
+    """Every experiment again: jobs=4, cold caches, its own store."""
+    root = tmp_path_factory.mktemp("par-store")
+    clear_cache()
+    engine = ExperimentEngine(jobs=4, store=ResultStore(root=root))
+    data = {
+        name: run_experiment(name, scale=SCALE, engine=engine).data
+        for name in EXPERIMENTS
+    }
+    clear_cache()
+    return data
+
+
+@pytest.mark.parametrize("name", EXPERIMENTS)
+def test_parallel_matches_sequential(name, sequential_cold, parallel_cold):
+    _, reference = sequential_cold
+    assert_data_equal(reference[name], parallel_cold[name], path=name)
+
+
+def test_warm_store_satisfies_every_unit(sequential_cold):
+    root, _ = sequential_cold
+    clear_cache()
+    units = experiment_work_units(EXPERIMENTS, scale=SCALE)
+    report = ExperimentEngine(jobs=1, store=ResultStore(root=root)).ensure(
+        units
+    )
+    assert report.computed == 0
+    assert report.from_store == report.units
+    clear_cache()
+
+
+def test_warm_store_results_match_cold(sequential_cold):
+    root, reference = sequential_cold
+    clear_cache()
+    engine = ExperimentEngine(jobs=4, store=ResultStore(root=root))
+    for name in EXPERIMENTS:
+        warm = run_experiment(name, scale=SCALE, engine=engine).data
+        assert_data_equal(reference[name], warm, path=name)
+    clear_cache()
