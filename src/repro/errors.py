@@ -109,6 +109,29 @@ class SnapshotError(ServiceError):
     version, or inconsistent with the classifier configuration."""
 
 
+class SnapshotSchemaError(SnapshotError):
+    """A snapshot document's ``schema_version`` does not match the one
+    this build reads.
+
+    Raised by the envelope validators (``loads`` / ``restore_tracker``)
+    *before* any component state is touched, so a version skew surfaces
+    as one clear error instead of failing deep inside predictor
+    restore.
+    """
+
+
+class PersistenceError(ReproError):
+    """The durable session tier was misused or its on-disk state is
+    unusable.
+
+    Routine damage — a torn journal tail after ``kill -9``, an
+    unreadable checkpoint — is *not* reported this way: recovery treats
+    it as a counted, non-fatal event. This exception is reserved for
+    programming errors (bad sync mode, appending to a closed journal)
+    and for data that cannot be safely interpreted at all.
+    """
+
+
 class ServiceTransportError(ServiceError):
     """The client could not complete the exchange (connect failure,
     timeout, or a connection dropped mid-request).

@@ -315,6 +315,25 @@ def _serve_main(argv: List[str]) -> int:
         "bound (default 32)",
     )
     parser.add_argument(
+        "--data-dir", metavar="PATH", default=None,
+        help="enable the durable session tier rooted at PATH: "
+        "evicted/expired sessions checkpoint to disk and hydrate on "
+        "demand, and a restart (even after kill -9) recovers the "
+        "registry from checkpoints + journal replay",
+    )
+    parser.add_argument(
+        "--checkpoint-interval", type=float, default=30.0,
+        metavar="SECONDS",
+        help="seconds between checkpoint+compact sweeps of dirty "
+        "sessions (default 30; needs --data-dir)",
+    )
+    parser.add_argument(
+        "--sync", choices=("none", "batch", "always"), default="batch",
+        help="journal durability: 'none' buffers in-process, 'batch' "
+        "flushes every record and fsyncs in batches (default), "
+        "'always' fsyncs every record (needs --data-dir)",
+    )
+    parser.add_argument(
         "--metrics", metavar="PATH", default=None,
         help="write a telemetry metrics snapshot to PATH at exit",
     )
@@ -346,7 +365,17 @@ def _serve_main(argv: List[str]) -> int:
         max_connections=args.max_connections,
         queue_size=args.queue_size,
         telemetry=telemetry,
+        data_dir=args.data_dir,
+        checkpoint_interval=args.checkpoint_interval,
+        sync=args.sync,
     )
+    if service.persistence is not None:
+        print(
+            f"durable sessions at {args.data_dir} (sync={args.sync}): "
+            f"recovered {service.sessions_recovered} live, "
+            f"{service.persistence.cold_sessions} cold on disk",
+            flush=True,
+        )
 
     async def _run() -> None:
         await service.start()

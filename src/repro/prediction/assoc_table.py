@@ -10,6 +10,7 @@ evaluate).
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import (
     Callable,
@@ -29,7 +30,15 @@ _HASH_SALT = 0x9E3779B9
 
 
 def _set_index(key: Hashable, num_sets: int) -> int:
-    return (hash(key) ^ _HASH_SALT) % num_sets
+    # Process-independent on purpose: built-in ``hash()`` of strings is
+    # salted per interpreter, and predictor keys carry strings — a
+    # table restored after a crash (a different process) must place
+    # every way in the same set it occupied before the kill, or the
+    # recovered predictor diverges from the one that was journaled.
+    # ``repr`` of the nested int/str tuple keys is canonical.
+    return (
+        zlib.crc32(repr(key).encode("utf-8")) ^ _HASH_SALT
+    ) % num_sets
 
 
 def tuple_key(obj: object) -> Hashable:
@@ -175,10 +184,10 @@ class AssociativeTable(Generic[P]):
     ) -> None:
         """Restore state captured by :meth:`export_state`.
 
-        Ways are re-placed by recomputing each key's set index in this
-        process (``hash()`` of strings is per-process), preserving each
-        way's LRU stamp, so within-process round-trips are exact and
-        cross-process restores stay consistent.
+        Ways are re-placed by recomputing each key's set index
+        (deterministic across processes), preserving each way's LRU
+        stamp, so restore-then-export round-trips are byte-identical —
+        including in a freshly started process recovering a crash.
         """
         if (
             int(state["entries"]) != self.entries

@@ -31,6 +31,7 @@ from repro.service.server import PhaseService, ServiceHandle, start_in_thread
 from repro.service.session import Session, SessionRegistry
 from repro.service.snapshot import (
     SNAPSHOT_VERSION,
+    check_schema_version,
     restore_tracker,
     snapshot_tracker,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "ServiceHandle",
     "Session",
     "SessionRegistry",
+    "check_schema_version",
     "restore_tracker",
     "snapshot_tracker",
     "start_in_thread",

@@ -78,8 +78,17 @@ _EXCEPTION_ERROR_CODES: Dict[Type[ServiceError], str] = {
 
 
 def error_code_for(error: Exception) -> str:
-    """The wire code a server reports for ``error``."""
-    return _EXCEPTION_ERROR_CODES.get(type(error), "internal")
+    """The wire code a server reports for ``error``.
+
+    Subclasses inherit their nearest ancestor's code (for example
+    :class:`~repro.errors.SnapshotSchemaError` reports ``snapshot``),
+    so new refinements of an existing refusal never leak ``internal``.
+    """
+    for klass in type(error).__mro__:
+        code = _EXCEPTION_ERROR_CODES.get(klass)
+        if code is not None:
+            return code
+    return "internal"
 
 
 def exception_for(code: str, message: str) -> ServiceError:

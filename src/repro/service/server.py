@@ -23,6 +23,14 @@ accepting connections and new request lines, but every request already
 queued is still executed and its responses/pushes flushed before sockets
 close — no interval is lost or double-classified across a drain, which
 the test suite proves by snapshotting at shutdown and replaying.
+
+Durability (``data_dir=...``): the service builds a
+:class:`~repro.persistence.manager.PersistenceManager`, recovers the
+registry from the last checkpoints plus journal replay before binding,
+and from then on journals every successful open/observe/close *before*
+acknowledging it, checkpoints dirty sessions on a timer (and at
+shutdown), and lets the registry evict idle sessions to disk instead of
+destroying them — they hydrate back on their next touch.
 """
 
 from __future__ import annotations
@@ -96,6 +104,17 @@ class PhaseService:
         Optional :class:`~repro.telemetry.Telemetry` hub; the service
         records request/error counters, ingest- and request-latency
         histograms, connection/session gauges, and lifecycle events.
+    data_dir:
+        Enable the durable session tier rooted here (journal +
+        checkpoints). Construction recovers whatever the directory
+        holds — including after ``kill -9``.
+    checkpoint_interval:
+        Seconds between periodic checkpoint-dirty-sessions sweeps
+        (each followed by journal compaction).
+    sync:
+        Journal durability mode (``none`` / ``batch`` / ``always``);
+        see :mod:`repro.persistence.journal`. Only meaningful with a
+        ``data_dir``.
     """
 
     def __init__(
@@ -111,6 +130,9 @@ class PhaseService:
         sweep_interval: float = 5.0,
         drain_timeout: float = 30.0,
         telemetry: "Optional[Telemetry]" = None,
+        data_dir: Optional[str] = None,
+        checkpoint_interval: float = 30.0,
+        sync: str = "batch",
     ) -> None:
         if max_connections <= 0:
             raise ConfigurationError(
@@ -119,6 +141,11 @@ class PhaseService:
         if queue_size <= 0:
             raise ConfigurationError(
                 f"queue_size must be positive, got {queue_size}"
+            )
+        if checkpoint_interval <= 0:
+            raise ConfigurationError(
+                f"checkpoint_interval must be positive, "
+                f"got {checkpoint_interval}"
             )
         self.host = host
         self.port = port
@@ -132,6 +159,20 @@ class PhaseService:
             evict_lru=evict_lru,
             telemetry=telemetry,
         )
+        self.checkpoint_interval = checkpoint_interval
+        self._persistence = None
+        self.sessions_recovered = 0
+        if data_dir is not None:
+            # Imported lazily: the persistence package depends on the
+            # service package, not the other way around.
+            from repro.persistence import PersistenceManager
+
+            self._persistence = PersistenceManager(
+                data_dir, sync=sync, telemetry=telemetry
+            )
+            self.sessions_recovered = self._persistence.install_into(
+                self.registry
+            )
         self.requests_served = 0
         self.errors_returned = 0
         self.connections_refused = 0
@@ -140,6 +181,7 @@ class PhaseService:
         self._draining = False
         self._stopped: Optional[asyncio.Event] = None
         self._sweeper: Optional["asyncio.Task"] = None
+        self._checkpointer: Optional["asyncio.Task"] = None
         self._telemetry = telemetry
         if telemetry is not None:
             self._m_requests = telemetry.counter(
@@ -189,15 +231,27 @@ class PhaseService:
             self.port = sockets[0].getsockname()[1]
         if self.idle_ttl_enabled:
             self._sweeper = asyncio.ensure_future(self._sweep_idle())
+        if self._persistence is not None:
+            self._checkpointer = asyncio.ensure_future(
+                self._checkpoint_loop()
+            )
         if self._telemetry is not None:
             self._telemetry.emit(
                 "service_start", host=self.host, port=self.port,
                 max_sessions=self.registry.max_sessions,
+                recovered=self.sessions_recovered,
+                durable=self._persistence is not None,
             )
 
     @property
     def idle_ttl_enabled(self) -> bool:
         return self.registry.idle_ttl is not None
+
+    @property
+    def persistence(self):
+        """The :class:`~repro.persistence.manager.PersistenceManager`
+        backing this service, or ``None`` when RAM-only."""
+        return self._persistence
 
     async def serve_forever(self) -> None:
         """Run until :meth:`shutdown` completes (from another task or a
@@ -224,6 +278,9 @@ class PhaseService:
         if self._sweeper is not None:
             self._sweeper.cancel()
             self._sweeper = None
+        if self._checkpointer is not None:
+            self._checkpointer.cancel()
+            self._checkpointer = None
 
         connections = list(self._connections.values())
         if drain:
@@ -255,6 +312,13 @@ class PhaseService:
             await self._close_connection(connection)
         self._connections.clear()
 
+        if self._persistence is not None:
+            # Final checkpoint so a graceful stop leaves the data dir
+            # ready to recover every session — the registry teardown
+            # below destroys only the RAM copies.
+            self._persistence.checkpoint_all(self.registry.sessions())
+            self._persistence.compact()
+            self._persistence.close()
         closed = self.registry.close_all()
         if self._telemetry is not None:
             self._telemetry.emit(
@@ -268,6 +332,12 @@ class PhaseService:
         while True:
             await asyncio.sleep(self.sweep_interval)
             self.registry.expire_idle()
+
+    async def _checkpoint_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.checkpoint_interval)
+            self._persistence.checkpoint_all(self.registry.sessions())
+            self._persistence.compact()
 
     # -- connection handling ---------------------------------------------------
 
@@ -433,6 +503,8 @@ class PhaseService:
                 errors=self.errors_returned,
                 connections=len(self._connections),
             )
+            if self._persistence is not None:
+                stats["persistence"] = self._persistence.stats()
             return stats
         if isinstance(request, protocol.OpenRequest):
             session = self.registry.open(
@@ -441,6 +513,15 @@ class PhaseService:
                 interval_instructions=request.interval_instructions,
                 snapshot=request.snapshot,
             )
+            if self._persistence is not None:
+                self._persistence.log_open(
+                    session.name,
+                    config=request.config,
+                    interval_instructions=(
+                        session.tracker.interval_instructions
+                    ),
+                    snapshot=request.snapshot,
+                )
             return {
                 "session": session.name,
                 "restored": not session.recyclable,
@@ -449,6 +530,8 @@ class PhaseService:
             }
         if isinstance(request, protocol.CloseRequest):
             session = self.registry.close(request.session)
+            if self._persistence is not None:
+                self._persistence.log_close(session.name)
             return {
                 "session": session.name,
                 "intervals": session.tracker.intervals_observed,
@@ -493,6 +576,14 @@ class PhaseService:
         elapsed = time.perf_counter() - started
         session.branches_ingested += len(request.pcs)
         session.intervals_pushed += len(reports)
+        if self._persistence is not None and request.pcs:
+            # Journaled (and flushed per the sync mode) before the ack
+            # below is written: an acknowledged batch is as durable as
+            # the sync mode promises.
+            self._persistence.log_observe(
+                session.name, request.pcs, request.counts,
+                cpi=request.cpi,
+            )
         if self._telemetry is not None:
             self._m_branches.inc(len(request.pcs))
             self._m_intervals.inc(len(reports))

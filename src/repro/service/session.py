@@ -16,6 +16,15 @@ sessions with three protection mechanisms a long-lived service needs:
   :meth:`~repro.core.online.PhaseTracker.reset` on reuse instead of
   reconstructed, keeping session churn off the allocation path.
 
+Reclamation is observable and interceptable: before the LRU cap or the
+idle TTL destroys a session, the optional ``on_evict`` pre-drop hook
+runs (the durable tier uses it to checkpoint the session to disk), and
+the eviction counters split into saved / lost / recycled so durability
+loss shows up in ``stats()`` even with persistence disabled. A miss in
+:meth:`get` or :meth:`close` consults the optional ``resolver`` hook,
+which lets evicted-to-disk sessions hydrate back on demand; the
+``name_reserved`` hook keeps their names taken while they are cold.
+
 The registry is not thread-safe by itself; the asyncio server drives
 it from one event loop, and the synchronous tests drive it from one
 thread.
@@ -69,8 +78,13 @@ class Session:
         return now - self.last_active
 
 
-def _build_config(overrides: Optional[dict]) -> ClassifierConfig:
-    """A ClassifierConfig from wire-supplied field overrides."""
+def build_config(overrides: Optional[dict]) -> ClassifierConfig:
+    """A ClassifierConfig from wire-supplied field overrides.
+
+    Shared with the persistence tier's journal replay, so a recovered
+    session is configured exactly as its ``open`` request configured
+    the original.
+    """
     if not overrides:
         return ClassifierConfig.paper_default()
     try:
@@ -96,9 +110,24 @@ class SessionRegistry:
         refusing the open.
     telemetry:
         Optional hub: a live-sessions gauge plus one event per session
-        lifecycle transition (opened / closed / evicted / expired).
+        lifecycle transition (opened / closed / evicted / expired /
+        hydrated / adopted).
     clock:
         Monotonic time source (overridable in tests).
+    on_evict:
+        Pre-drop hook ``(session, reason)`` run before the LRU cap
+        (``reason="evicted"``) or the idle TTL (``reason="expired"``)
+        destroys a session — the durable tier's evict-to-disk point. A
+        hook that raises does not block reclamation; the drop is then
+        counted as lost, not saved.
+    resolver:
+        Miss hook ``(name) -> Optional[Session]`` consulted by
+        :meth:`get` and :meth:`close` before reporting
+        :class:`SessionNotFoundError` — the hydrate-on-demand point.
+    name_reserved:
+        Predicate ``(name) -> bool`` marking names that are taken even
+        though not live (evicted-to-disk sessions); :meth:`open`
+        refuses them and auto-naming skips them.
     """
 
     def __init__(
@@ -108,6 +137,9 @@ class SessionRegistry:
         evict_lru: bool = True,
         telemetry: "Optional[Telemetry]" = None,
         clock: Callable[[], float] = time.monotonic,
+        on_evict: "Optional[Callable[[Session, str], None]]" = None,
+        resolver: "Optional[Callable[[str], Optional[Session]]]" = None,
+        name_reserved: Optional[Callable[[str], bool]] = None,
     ) -> None:
         if max_sessions <= 0:
             raise ConfigurationError(
@@ -121,6 +153,9 @@ class SessionRegistry:
         self.idle_ttl = idle_ttl
         self.evict_lru = evict_lru
         self.clock = clock
+        self.on_evict = on_evict
+        self.resolver = resolver
+        self.name_reserved = name_reserved
         # Most recently active last; OrderedDict gives O(1) LRU updates.
         self._sessions: "OrderedDict[str, Session]" = OrderedDict()
         self._free_trackers: List[PhaseTracker] = []
@@ -129,6 +164,15 @@ class SessionRegistry:
         self.sessions_closed = 0
         self.sessions_evicted = 0
         self.sessions_expired = 0
+        # The reclamation split: every LRU eviction / TTL expiry lands
+        # in exactly one bucket, so ``evicted + expired ==
+        # saved + lost + recycled`` and durability loss is visible even
+        # without a persistence tier attached.
+        self.sessions_evicted_saved = 0
+        self.sessions_evicted_lost = 0
+        self.sessions_evicted_recycled = 0
+        self.sessions_hydrated = 0
+        self.sessions_adopted = 0
         self._telemetry = telemetry
         if telemetry is not None:
             self._g_sessions = telemetry.gauge(
@@ -179,21 +223,19 @@ class SessionRegistry:
             name = self._generate_name()
         elif name in self._sessions:
             raise SessionExistsError(f"session {name!r} is already open")
+        elif self.name_reserved is not None and self.name_reserved(name):
+            raise SessionExistsError(
+                f"session {name!r} is evicted to disk; it hydrates on "
+                "use — close it first to reuse the name"
+            )
 
-        self.expire_idle()
-        if len(self._sessions) >= self.max_sessions:
-            if not self.evict_lru:
-                raise ServiceOverloadedError(
-                    f"session table is full ({self.max_sessions}); close "
-                    "a session or retry later"
-                )
-            self._evict_lru()
+        self._make_room()
 
         if snapshot is not None:
             tracker = restore_tracker(snapshot)
         else:
             tracker = self._checkout_tracker(
-                _build_config(config),
+                build_config(config),
                 interval_instructions or DEFAULT_INTERVAL_INSTRUCTIONS,
             )
         session = Session(
@@ -207,8 +249,15 @@ class SessionRegistry:
         return session
 
     def get(self, name: str) -> Session:
-        """Look up a session, refreshing its activity/LRU position."""
+        """Look up a session, refreshing its activity/LRU position.
+
+        A miss consults the ``resolver`` hook first, so an
+        evicted-to-disk session hydrates back transparently (counted
+        and emitted as ``session_hydrated``).
+        """
         session = self._sessions.get(name)
+        if session is None:
+            session = self._hydrate(name)
         if session is None:
             raise SessionNotFoundError(
                 f"session {name!r} does not exist (never opened, closed, "
@@ -218,9 +267,33 @@ class SessionRegistry:
         self._sessions.move_to_end(name)
         return session
 
+    def adopt(self, session: Session) -> Session:
+        """Install an externally constructed session (crash recovery).
+
+        Takes the normal admission path — idle sweep, then LRU
+        eviction or :class:`ServiceOverloadedError` when full — but
+        counts separately from :meth:`open`, since nothing new was
+        created.
+        """
+        if session.name in self._sessions:
+            raise SessionExistsError(
+                f"session {session.name!r} is already open"
+            )
+        self._make_room()
+        self._sessions[session.name] = session
+        self.sessions_adopted += 1
+        self._emit("session_adopted", session)
+        return session
+
     def close(self, name: str) -> Session:
-        """Close a session, recycling its tracker into the free pool."""
+        """Close a session, recycling its tracker into the free pool.
+
+        Closing an evicted-to-disk session works too: the ``resolver``
+        hook materializes it just long enough to account for it.
+        """
         session = self._sessions.pop(name, None)
+        if session is None and self.resolver is not None:
+            session = self.resolver(name)
         if session is None:
             raise SessionNotFoundError(f"session {name!r} does not exist")
         self.sessions_closed += 1
@@ -249,9 +322,10 @@ class SessionRegistry:
         for name in expired:
             session = self._sessions.pop(name)
             self.sessions_expired += 1
+            saved = self._pre_drop(session, "expired")
             self._recycle(session)
             self._emit(
-                "session_expired", session,
+                "session_expired", session, saved=saved,
                 idle_seconds=round(session.idle_seconds(now), 3),
             )
         return expired
@@ -261,14 +335,71 @@ class SessionRegistry:
     def _generate_name(self) -> str:
         while True:
             name = f"session-{next(self._name_counter)}"
-            if name not in self._sessions:
-                return name
+            if name in self._sessions:
+                continue
+            if self.name_reserved is not None and self.name_reserved(name):
+                continue
+            return name
+
+    def _make_room(self) -> None:
+        """Idle-sweep, then free one slot (evict or refuse) when full."""
+        self.expire_idle()
+        if len(self._sessions) >= self.max_sessions:
+            if not self.evict_lru:
+                raise ServiceOverloadedError(
+                    f"session table is full ({self.max_sessions}); close "
+                    "a session or retry later"
+                )
+            self._evict_lru()
 
     def _evict_lru(self) -> None:
         name, session = self._sessions.popitem(last=False)
         self.sessions_evicted += 1
+        saved = self._pre_drop(session, "evicted")
         self._recycle(session)
-        self._emit("session_evicted", session)
+        self._emit("session_evicted", session, saved=saved)
+
+    def _pre_drop(self, session: Session, reason: str) -> bool:
+        """Run the ``on_evict`` hook and bucket the drop as saved /
+        lost / recycled; returns whether state was saved."""
+        saved = False
+        if self.on_evict is not None:
+            try:
+                self.on_evict(session, reason)
+                saved = True
+            except Exception as error:
+                if self._telemetry is not None:
+                    self._telemetry.emit(
+                        "session_evict_hook_failed",
+                        session=session.name, reason=reason,
+                        error=f"{type(error).__name__}: {error}",
+                    )
+        if saved:
+            self.sessions_evicted_saved += 1
+        elif (
+            session.branches_ingested > 0
+            or session.tracker.intervals_observed > 0
+        ):
+            # Observed state destroyed with nowhere to go: this is the
+            # durability loss the counter split exists to expose.
+            self.sessions_evicted_lost += 1
+        else:
+            self.sessions_evicted_recycled += 1
+        return saved
+
+    def _hydrate(self, name: str) -> Optional[Session]:
+        """Ask the resolver for an evicted-to-disk session and
+        re-install it under the normal admission path."""
+        if self.resolver is None:
+            return None
+        session = self.resolver(name)
+        if session is None:
+            return None
+        self._make_room()
+        self._sessions[name] = session
+        self.sessions_hydrated += 1
+        self._emit("session_hydrated", session)
+        return session
 
     def _checkout_tracker(
         self, config: ClassifierConfig, interval_instructions: int
@@ -294,6 +425,10 @@ class SessionRegistry:
 
     # -- inspection -----------------------------------------------------------
 
+    def sessions(self) -> List[Session]:
+        """Live sessions, least recently active first."""
+        return list(self._sessions.values())
+
     def stats(self) -> Dict[str, int]:
         """Lifecycle counters plus the live-session count."""
         return {
@@ -302,4 +437,9 @@ class SessionRegistry:
             "closed": self.sessions_closed,
             "evicted": self.sessions_evicted,
             "expired": self.sessions_expired,
+            "evicted_saved": self.sessions_evicted_saved,
+            "evicted_lost": self.sessions_evicted_lost,
+            "evicted_recycled": self.sessions_evicted_recycled,
+            "hydrated": self.sessions_hydrated,
+            "adopted": self.sessions_adopted,
         }

@@ -10,7 +10,10 @@ prediction streams versus never having stopped — the property the test
 suite enforces — so sessions survive service restarts and can migrate
 between hosts.
 
-The document is versioned (:data:`SNAPSHOT_VERSION`) and
+The document is stamped with an explicit ``schema_version``
+(:data:`SNAPSHOT_VERSION`); a mismatch raises the typed
+:class:`~repro.errors.SnapshotSchemaError` from the envelope
+validators, before any component state is touched. The document is
 self-describing: the classifier configuration and the change
 predictor's type/geometry travel inside it, so ``restore_tracker``
 needs nothing but the document. The component state formats live with
@@ -26,7 +29,12 @@ from typing import Optional, TYPE_CHECKING
 
 from repro.core.config import ClassifierConfig
 from repro.core.online import PhaseTracker
-from repro.errors import ConfigurationError, ReproError, SnapshotError
+from repro.errors import (
+    ConfigurationError,
+    ReproError,
+    SnapshotError,
+    SnapshotSchemaError,
+)
 from repro.prediction.markov import MarkovChangePredictor
 from repro.prediction.rle import RLEChangePredictor
 
@@ -46,10 +54,26 @@ CHANGE_PREDICTOR_KINDS = {
 def snapshot_tracker(tracker: PhaseTracker) -> dict:
     """Export ``tracker`` into a versioned, JSON-safe document."""
     document = {
-        "version": SNAPSHOT_VERSION,
+        "schema_version": SNAPSHOT_VERSION,
         "tracker": tracker.export_state(),
     }
     return document
+
+
+def check_schema_version(document: dict) -> int:
+    """Validate a document's ``schema_version`` stamp.
+
+    Accepts the pre-stamp key ``version`` as a legacy alias. Returns
+    the version on success; raises :class:`SnapshotSchemaError` when
+    the stamp is missing or differs from :data:`SNAPSHOT_VERSION`.
+    """
+    version = document.get("schema_version", document.get("version"))
+    if version != SNAPSHOT_VERSION:
+        raise SnapshotSchemaError(
+            f"unsupported snapshot schema_version {version!r}; this "
+            f"build reads version {SNAPSHOT_VERSION}"
+        )
+    return version
 
 
 def restore_tracker(
@@ -62,17 +86,13 @@ def restore_tracker(
     are not part of a snapshot; ``telemetry`` attaches a hub to the
     restored tracker.
 
-    Raises :class:`~repro.errors.SnapshotError` on a malformed or
-    version-incompatible document.
+    Raises :class:`~repro.errors.SnapshotError` on a malformed
+    document and :class:`~repro.errors.SnapshotSchemaError` (a
+    subclass) on a ``schema_version`` mismatch.
     """
     if not isinstance(document, dict):
         raise SnapshotError("snapshot must be a JSON object")
-    version = document.get("version")
-    if version != SNAPSHOT_VERSION:
-        raise SnapshotError(
-            f"unsupported snapshot version {version!r}; this build "
-            f"reads version {SNAPSHOT_VERSION}"
-        )
+    check_schema_version(document)
     state = document.get("tracker")
     if not isinstance(state, dict):
         raise SnapshotError("snapshot lacks the 'tracker' state object")
@@ -121,11 +141,14 @@ def dumps(document: dict) -> str:
 
 
 def loads(text: str) -> dict:
-    """Parse snapshot JSON text, validating the envelope shape."""
+    """Parse snapshot JSON text, validating the envelope shape and the
+    ``schema_version`` stamp (:class:`~repro.errors.SnapshotSchemaError`
+    on mismatch)."""
     try:
         document = json.loads(text)
     except json.JSONDecodeError as error:
         raise SnapshotError(f"snapshot text is not valid JSON: {error}")
     if not isinstance(document, dict):
         raise SnapshotError("snapshot must be a JSON object")
+    check_schema_version(document)
     return document

@@ -1,0 +1,252 @@
+"""The segment journal: CRC framing, rotation, sync modes, and the
+torn-tail truncation that makes ``kill -9`` a recoverable event."""
+
+import json
+import struct
+
+import pytest
+
+from repro.errors import PersistenceError
+from repro.persistence import (
+    Journal,
+    list_segments,
+    replay_journal,
+)
+from repro.persistence.journal import (
+    MAX_RECORD_BYTES,
+    encode_record,
+    segment_first_seq,
+    segment_name,
+)
+
+
+def append_n(journal, n, start=0):
+    for index in range(start, start + n):
+        journal.append({"kind": "observe", "session": "s", "index": index})
+
+
+class TestFraming:
+    def test_round_trip(self, tmp_path):
+        with Journal(tmp_path, sync="batch") as journal:
+            append_n(journal, 5)
+        replay = replay_journal(tmp_path)
+        assert [r["index"] for r in replay.records] == list(range(5))
+        assert [r["seq"] for r in replay.records] == [1, 2, 3, 4, 5]
+        assert replay.stats.records == 5
+        assert replay.stats.torn_tails == 0
+        assert replay.stats.next_seq == 6
+
+    def test_segment_name_round_trip(self):
+        assert segment_first_seq(segment_name(0xDEAD)) == 0xDEAD
+        with pytest.raises(PersistenceError):
+            segment_first_seq("not-a-segment.bin")
+
+    def test_reopen_continues_sequence(self, tmp_path):
+        with Journal(tmp_path) as journal:
+            append_n(journal, 3)
+        stats = replay_journal(tmp_path).stats
+        with Journal(tmp_path, next_seq=stats.next_seq) as journal:
+            append_n(journal, 2, start=3)
+        replay = replay_journal(tmp_path)
+        assert [r["seq"] for r in replay.records] == [1, 2, 3, 4, 5]
+        assert [r["index"] for r in replay.records] == list(range(5))
+
+    def test_empty_directory_replays_empty(self, tmp_path):
+        replay = replay_journal(tmp_path / "missing")
+        assert replay.records == []
+        assert replay.stats.next_seq == 1
+
+
+class TestRotation:
+    def test_rotates_at_segment_bytes(self, tmp_path):
+        with Journal(tmp_path, segment_bytes=256) as journal:
+            append_n(journal, 40)
+        segments = list_segments(tmp_path)
+        assert len(segments) > 1
+        firsts = [segment_first_seq(p) for p in segments]
+        assert firsts == sorted(firsts) and firsts[0] == 1
+        replay = replay_journal(tmp_path)
+        assert replay.stats.records == 40
+        assert replay.stats.segments == len(segments)
+
+    def test_reopen_continues_unfilled_segment(self, tmp_path):
+        with Journal(tmp_path, segment_bytes=1 << 20) as journal:
+            append_n(journal, 3)
+        with Journal(tmp_path, next_seq=4, segment_bytes=1 << 20) as journal:
+            append_n(journal, 3, start=3)
+        assert len(list_segments(tmp_path)) == 1
+        assert replay_journal(tmp_path).stats.records == 6
+
+
+class TestTornTails:
+    def corrupt_tail(self, tmp_path, cut):
+        """Chop ``cut`` bytes off the newest segment — what a crash
+        mid-append leaves behind."""
+        segment = list_segments(tmp_path)[-1]
+        size = segment.stat().st_size
+        with open(segment, "rb+") as handle:
+            handle.truncate(size - cut)
+        return segment
+
+    def test_short_tail_is_truncated_and_counted(self, tmp_path):
+        with Journal(tmp_path) as journal:
+            append_n(journal, 5)
+        segment = self.corrupt_tail(tmp_path, cut=3)
+        good_size = segment.stat().st_size  # pre-replay, still torn
+        replay = replay_journal(tmp_path)
+        assert replay.stats.records == 4
+        assert replay.stats.torn_tails == 1
+        assert replay.stats.truncated_bytes > 0
+        assert segment.stat().st_size < good_size
+        # The repaired journal replays cleanly.
+        again = replay_journal(tmp_path)
+        assert again.stats.records == 4 and again.stats.torn_tails == 0
+
+    def test_crc_corruption_is_a_torn_tail(self, tmp_path):
+        with Journal(tmp_path) as journal:
+            append_n(journal, 4)
+        segment = list_segments(tmp_path)[0]
+        data = bytearray(segment.read_bytes())
+        data[-1] ^= 0xFF  # flip a payload byte in the last record
+        segment.write_bytes(bytes(data))
+        replay = replay_journal(tmp_path)
+        assert replay.stats.records == 3
+        assert replay.stats.torn_tails == 1
+
+    def test_segments_after_tear_are_discarded(self, tmp_path):
+        with Journal(tmp_path, segment_bytes=256) as journal:
+            append_n(journal, 40)
+        segments = list_segments(tmp_path)
+        assert len(segments) >= 3
+        # Corrupt the first record of the *second* segment.
+        data = bytearray(segments[1].read_bytes())
+        data[struct.calcsize("<II")] ^= 0xFF
+        segments[1].write_bytes(bytes(data))
+        replay = replay_journal(tmp_path)
+        assert replay.stats.torn_tails == 1
+        assert replay.stats.segments_discarded == len(segments) - 2
+        remaining = list_segments(tmp_path)
+        assert remaining[-1] == segments[1]
+        # Every surviving record predates the tear.
+        assert replay.records[-1]["seq"] < segment_first_seq(segments[2])
+
+    def test_truncate_false_leaves_damage_in_place(self, tmp_path):
+        with Journal(tmp_path) as journal:
+            append_n(journal, 3)
+        segment = self.corrupt_tail(tmp_path, cut=2)
+        size = segment.stat().st_size
+        replay = replay_journal(tmp_path, truncate=False)
+        assert replay.stats.torn_tails == 1
+        assert segment.stat().st_size == size
+
+    def test_absurd_length_header_is_corruption(self, tmp_path):
+        with Journal(tmp_path) as journal:
+            append_n(journal, 1)
+        segment = list_segments(tmp_path)[0]
+        with open(segment, "ab") as handle:
+            handle.write(struct.pack("<II", MAX_RECORD_BYTES + 1, 0))
+        replay = replay_journal(tmp_path)
+        assert replay.stats.records == 1
+        assert replay.stats.torn_tails == 1
+
+    def test_non_monotonic_seq_ends_replay(self, tmp_path):
+        with Journal(tmp_path) as journal:
+            append_n(journal, 2)
+        segment = list_segments(tmp_path)[0]
+        stale = json.dumps({"kind": "observe", "seq": 1}).encode()
+        with open(segment, "ab") as handle:
+            handle.write(encode_record(stale))
+        replay = replay_journal(tmp_path)
+        assert replay.stats.records == 2
+        assert replay.stats.torn_tails == 1
+
+
+class TestSyncModes:
+    def test_invalid_mode_rejected(self, tmp_path):
+        with pytest.raises(PersistenceError, match="sync"):
+            Journal(tmp_path, sync="sometimes")
+
+    def test_invalid_sizes_rejected(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            Journal(tmp_path, segment_bytes=0)
+        with pytest.raises(PersistenceError):
+            Journal(tmp_path, batch_records=0)
+        with pytest.raises(PersistenceError):
+            Journal(tmp_path, next_seq=0)
+
+    def test_batch_fsyncs_every_batch_records(self, tmp_path):
+        journal = Journal(tmp_path, sync="batch", batch_records=3)
+        append_n(journal, 2)
+        assert journal.unsynced_records == 2
+        append_n(journal, 1, start=2)
+        assert journal.unsynced_records == 0
+        assert journal.fsyncs == 1
+        journal.close()
+
+    def test_always_never_lags(self, tmp_path):
+        journal = Journal(tmp_path, sync="always")
+        append_n(journal, 3)
+        assert journal.unsynced_records == 0
+        assert journal.fsyncs == 3
+        journal.close()
+
+    def test_explicit_sync_clears_lag(self, tmp_path):
+        journal = Journal(tmp_path, sync="batch", batch_records=100)
+        append_n(journal, 5)
+        assert journal.unsynced_records == 5
+        journal.sync()
+        assert journal.unsynced_records == 0
+        journal.close()
+
+    def test_none_mode_still_replayable_after_close(self, tmp_path):
+        with Journal(tmp_path, sync="none") as journal:
+            append_n(journal, 4)
+        assert replay_journal(tmp_path).stats.records == 4
+
+    def test_append_after_close_raises(self, tmp_path):
+        journal = Journal(tmp_path)
+        journal.close()
+        journal.close()  # idempotent
+        with pytest.raises(PersistenceError, match="closed"):
+            journal.append({"kind": "observe"})
+
+
+class TestTelemetry:
+    def test_counters_and_lag_gauge(self, tmp_path):
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        with Journal(
+            tmp_path, sync="batch", batch_records=100, telemetry=telemetry
+        ) as journal:
+            append_n(journal, 7)
+            metrics = telemetry.metrics
+            records = metrics.get(
+                "repro_persistence_journal_records_total"
+            )
+            assert records.value == 7
+            lag = metrics.get("repro_persistence_unsynced_records")
+            assert lag.value == 7
+            journal.sync()
+            assert lag.value == 0
+            fsync = metrics.get("repro_persistence_fsync_seconds")
+            assert fsync.count >= 1
+
+    def test_torn_tail_emits_event(self, tmp_path):
+        import io
+
+        from repro.telemetry import EventLog, Telemetry, read_events
+
+        with Journal(tmp_path) as journal:
+            append_n(journal, 3)
+        segment = list_segments(tmp_path)[0]
+        with open(segment, "rb+") as handle:
+            handle.truncate(segment.stat().st_size - 1)
+        stream = io.StringIO()
+        telemetry = Telemetry(events=EventLog(stream=stream))
+        replay_journal(tmp_path, telemetry=telemetry)
+        kinds = [
+            record["event"]
+            for record in read_events(io.StringIO(stream.getvalue()))
+        ]
+        assert "journal_torn_tail" in kinds

@@ -88,3 +88,33 @@ class TestEviction:
         table.insert("b", 2)
         table.insert("a", 3)  # overwrite: not a new insertion
         assert table.insertions == 2
+
+
+class TestSetIndexDeterminism:
+    def test_set_index_is_process_independent(self):
+        """Built-in ``hash()`` of strings is salted per interpreter;
+        the table must not depend on it, or a crash-recovered process
+        places restored ways in different sets than the original."""
+        import os
+        import subprocess
+        import sys
+
+        program = (
+            "from repro.prediction.assoc_table import _set_index\n"
+            "keys = [('rle', 2, ((1, 5), (2, 3))), ('markov', 0, (7,)),"
+            " (1, 2, 3), 'plain-string']\n"
+            "print([_set_index(k, 8) for k in keys])\n"
+        )
+        outputs = set()
+        for seed in ("0", "1", "12345"):
+            result = subprocess.run(
+                [sys.executable, "-c", program],
+                capture_output=True, text=True, check=True,
+                env=dict(os.environ, PYTHONHASHSEED=seed,
+                         PYTHONPATH="src"),
+                cwd=os.path.dirname(os.path.dirname(os.path.dirname(
+                    os.path.abspath(__file__)
+                ))),
+            )
+            outputs.add(result.stdout.strip())
+        assert len(outputs) == 1

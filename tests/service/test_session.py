@@ -185,4 +185,164 @@ class TestTelemetry:
         ]
         stats = registry.stats()
         assert stats == {"live": 0, "opened": 3, "closed": 1,
-                         "evicted": 1, "expired": 1}
+                         "evicted": 1, "expired": 1,
+                         "evicted_saved": 0, "evicted_lost": 0,
+                         "evicted_recycled": 2, "hydrated": 0,
+                         "adopted": 0}
+
+
+class TestReclamationHooks:
+    """The persistence seams: ``on_evict``, ``resolver``, and
+    ``name_reserved``, plus the saved/lost/recycled counter split."""
+
+    def drive(self, session, branches=40):
+        for index in range(branches):
+            session.tracker.observe_branch(0x400000 + index * 4, 50)
+        session.branches_ingested += branches
+
+    def test_on_evict_runs_before_lru_drop(self):
+        calls = []
+        registry = SessionRegistry(
+            max_sessions=1, on_evict=lambda s, r: calls.append((s.name, r))
+        )
+        registry.open(name="a")
+        registry.open(name="b")
+        assert calls == [("a", "evicted")]
+        assert registry.stats()["evicted_saved"] == 1
+        assert registry.stats()["evicted_lost"] == 0
+
+    def test_on_evict_runs_before_ttl_expiry(self):
+        calls = []
+        clock = FakeClock()
+        registry = SessionRegistry(
+            max_sessions=4, idle_ttl=10, clock=clock,
+            on_evict=lambda s, r: calls.append((s.name, r)),
+        )
+        registry.open(name="a")
+        clock.advance(11)
+        assert registry.expire_idle() == ["a"]
+        assert calls == [("a", "expired")]
+        assert registry.stats()["evicted_saved"] == 1
+
+    def test_failing_hook_counts_state_as_lost(self):
+        def explode(session, reason):
+            raise RuntimeError("disk on fire")
+
+        registry = SessionRegistry(max_sessions=1, on_evict=explode)
+        session = registry.open(name="a")
+        self.drive(session)
+        registry.open(name="b")      # evicts "a"; the hook fails
+        stats = registry.stats()
+        assert stats["evicted_saved"] == 0
+        assert stats["evicted_lost"] == 1
+
+    def test_failing_hook_emits_event_and_does_not_block_eviction(self):
+        import io
+
+        def explode(session, reason):
+            raise RuntimeError("disk on fire")
+
+        telemetry = Telemetry(events=EventLog(stream=io.StringIO()))
+        registry = SessionRegistry(
+            max_sessions=1, on_evict=explode, telemetry=telemetry
+        )
+        registry.open(name="a")
+        registry.open(name="b")      # eviction proceeds despite hook
+        assert "a" not in registry and "b" in registry
+        records = read_events(
+            io.StringIO(telemetry.events._stream.getvalue())
+        )
+        failures = [
+            r for r in records if r["event"] == "session_evict_hook_failed"
+        ]
+        assert len(failures) == 1
+        assert "disk on fire" in failures[0]["error"]
+
+    def test_untouched_session_counts_as_recycled_without_hook(self):
+        registry = SessionRegistry(max_sessions=1)
+        registry.open(name="a")      # never observed anything
+        registry.open(name="b")
+        stats = registry.stats()
+        assert stats["evicted_recycled"] == 1
+        assert stats["evicted_lost"] == 0
+
+    def test_observed_session_counts_as_lost_without_hook(self):
+        registry = SessionRegistry(max_sessions=1)
+        session = registry.open(name="a")
+        self.drive(session)
+        registry.open(name="b")
+        stats = registry.stats()
+        assert stats["evicted_lost"] == 1
+        assert stats["evicted_recycled"] == 0
+
+    def test_get_miss_consults_resolver(self):
+        from repro.service.session import Session
+
+        made = []
+
+        def resolver(name):
+            if name != "phoenix":
+                return None
+            session = Session(name, PhaseTracker(), 0.0, recyclable=False)
+            made.append(session)
+            return session
+
+        registry = SessionRegistry(max_sessions=4, resolver=resolver)
+        session = registry.get("phoenix")
+        assert session is made[0]
+        assert "phoenix" in registry
+        assert registry.stats()["hydrated"] == 1
+        # Now live: a second get must not re-resolve.
+        assert registry.get("phoenix") is session
+        assert len(made) == 1
+        with pytest.raises(SessionNotFoundError):
+            registry.get("unknown")
+
+    def test_hydration_takes_the_admission_path(self):
+        from repro.service.session import Session
+
+        registry = SessionRegistry(
+            max_sessions=1,
+            resolver=lambda name: Session(
+                name, PhaseTracker(), 0.0, recyclable=False
+            ),
+        )
+        registry.open(name="a")
+        registry.get("phoenix")      # hydrating evicts "a"
+        assert "a" not in registry and "phoenix" in registry
+        assert registry.stats()["evicted"] == 1
+
+    def test_close_miss_consults_resolver(self):
+        from repro.service.session import Session
+
+        registry = SessionRegistry(
+            max_sessions=4,
+            resolver=lambda name: Session(
+                name, PhaseTracker(), 0.0, recyclable=False
+            ),
+        )
+        closed = registry.close("phoenix")
+        assert closed.name == "phoenix"
+        assert registry.stats()["closed"] == 1
+
+    def test_reserved_names_are_refused_and_skipped(self):
+        registry = SessionRegistry(
+            max_sessions=4,
+            name_reserved=lambda name: name in {"cold", "session-1"},
+        )
+        with pytest.raises(SessionExistsError, match="evicted to disk"):
+            registry.open(name="cold")
+        # Auto-naming skips reserved names instead of colliding.
+        assert registry.open().name == "session-2"
+
+    def test_adopt_counts_separately_and_respects_cap(self):
+        from repro.service.session import Session
+
+        registry = SessionRegistry(max_sessions=1, evict_lru=False)
+        registry.adopt(Session("a", PhaseTracker(), 0.0))
+        assert registry.stats()["adopted"] == 1
+        assert registry.stats()["opened"] == 0
+        with pytest.raises(SessionExistsError):
+            registry.adopt(Session("a", PhaseTracker(), 0.0))
+        with pytest.raises(ServiceOverloadedError):
+            registry.adopt(Session("b", PhaseTracker(), 0.0))

@@ -89,15 +89,28 @@ class TestRoundTrip:
         drive(tracker, pcs, counts)
         text = dumps(snapshot_tracker(tracker))
         assert isinstance(text, str)
-        assert loads(text)["version"] == SNAPSHOT_VERSION
+        assert loads(text)["schema_version"] == SNAPSHOT_VERSION
 
 
 class TestFailureModes:
     def test_version_mismatch(self):
         document = snapshot_tracker(PhaseTracker())
-        document["version"] = SNAPSHOT_VERSION + 1
+        document["schema_version"] = SNAPSHOT_VERSION + 1
         with pytest.raises(SnapshotError, match="version"):
             restore_tracker(document)
+
+    def test_version_mismatch_is_typed(self):
+        from repro.errors import SnapshotSchemaError
+
+        document = snapshot_tracker(PhaseTracker())
+        document["schema_version"] = SNAPSHOT_VERSION + 1
+        with pytest.raises(SnapshotSchemaError):
+            restore_tracker(document)
+
+    def test_legacy_version_key_still_accepted(self):
+        document = snapshot_tracker(PhaseTracker())
+        document["version"] = document.pop("schema_version")
+        restore_tracker(document)
 
     @pytest.mark.parametrize("document", [
         "not a dict",
