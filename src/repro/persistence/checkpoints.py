@@ -14,9 +14,11 @@ Durability discipline (PR 3's store rules, tightened):
   complete documents, even under ``kill -9``;
 - the payload carries a CRC32 over its canonical JSON, so silent
   corruption is detected on load;
-- an unreadable, CRC-mismatched, or schema-incompatible checkpoint is
+- a CRC-mismatched, undecodable, or schema-incompatible checkpoint is
   a counted miss (best-effort unlinked), never an exception — recovery
-  keeps going with what it can read.
+  keeps going with what it can read. A *transient* read failure (EIO,
+  EACCES) is also a counted miss, but the file stays on disk for a
+  retry or the next recovery.
 
 File names are the SHA-256 of the session name (client-chosen names
 are not filesystem-safe); the name travels inside the document, so
@@ -65,6 +67,7 @@ class CheckpointStore:
         self.fsync = fsync
         self.written = 0
         self.corrupt_dropped = 0
+        self.read_errors = 0
         self._tmp_serial = 0
         self._telemetry = telemetry
 
@@ -132,7 +135,27 @@ class CheckpointStore:
     def _load_path(self, path: Path) -> Optional[dict]:
         try:
             with open(path, "rb") as handle:
-                envelope = json.loads(handle.read().decode("utf-8"))
+                raw = handle.read()
+        except FileNotFoundError:
+            return None
+        except OSError as error:
+            # A transient read failure (EIO, EACCES) is not
+            # corruption: count the miss but leave the file in place
+            # for a retry or the next recovery.
+            self.read_errors += 1
+            self._count(
+                "checkpoint_read_errors",
+                help="Checkpoint reads that failed transiently",
+            )
+            if self._telemetry is not None:
+                self._telemetry.emit(
+                    "checkpoint_read_error",
+                    path=path.name,
+                    error=f"{type(error).__name__}: {error}",
+                )
+            return None
+        try:
+            envelope = json.loads(raw.decode("utf-8"))
             body = envelope["body"]
             if zlib.crc32(_canonical(body)) != envelope["crc"]:
                 raise ValueError("checkpoint CRC mismatch")
@@ -143,9 +166,7 @@ class CheckpointStore:
                 )
             if not isinstance(body.get("session"), str):
                 raise ValueError("checkpoint lacks a session name")
-        except FileNotFoundError:
-            return None
-        except (OSError, ValueError, KeyError, TypeError):
+        except (UnicodeDecodeError, ValueError, KeyError, TypeError):
             self.corrupt_dropped += 1
             self._count(
                 "checkpoints_corrupt",

@@ -55,7 +55,9 @@ SYNC_MODES = ("none", "batch", "always")
 _HEADER = struct.Struct("<II")
 
 #: Upper bound on one record's payload. A frame whose declared length
-#: exceeds this is treated as corruption, not as a huge record.
+#: exceeds this is treated as corruption, not as a huge record —
+#: :meth:`Journal.append` refuses oversized payloads so a record that
+#: replay would reject can never be written.
 MAX_RECORD_BYTES = 32 * 1024 * 1024
 
 _SEGMENT_PREFIX = "seg-"
@@ -314,6 +316,11 @@ class Journal:
         write is flushed/fsynced per the journal's sync mode before
         this returns, so a caller that acknowledges afterwards gets the
         mode's durability guarantee.
+
+        A payload over :data:`MAX_RECORD_BYTES` raises
+        :class:`PersistenceError` *before* anything is written: replay
+        treats such a frame as corruption and would truncate the
+        journal there, discarding every later record.
         """
         if self._file is None:
             raise PersistenceError("journal is closed")
@@ -321,6 +328,11 @@ class Journal:
         payload = json.dumps(
             dict(record, seq=seq), separators=(",", ":")
         ).encode("utf-8")
+        if len(payload) > MAX_RECORD_BYTES:
+            raise PersistenceError(
+                f"journal record of {len(payload)} bytes exceeds the "
+                f"{MAX_RECORD_BYTES}-byte frame cap"
+            )
         frame = encode_record(payload)
         self._file.write(frame)
         self._next_seq += 1

@@ -39,6 +39,7 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, Iterable, Optional, TYPE_CHECKING, Union
 
+from repro.errors import PersistenceError
 from repro.persistence.checkpoints import CheckpointStore
 from repro.persistence.compaction import compact_journal
 from repro.persistence.journal import Journal
@@ -177,14 +178,36 @@ class PersistenceManager:
         interval_instructions: Optional[int] = None,
         snapshot: Optional[dict] = None,
     ) -> int:
-        """Journal a successful ``open``; returns the record's seq."""
-        seq = self.journal.append({
+        """Journal a successful ``open``; returns the record's seq.
+
+        A restore snapshot too large for one journal frame does not
+        travel inline: the open record carries a marker instead and the
+        snapshot is published as the session's first checkpoint,
+        covering the open record itself.
+        """
+        record = {
             "kind": "open",
             "session": name,
             "config": config,
             "interval_instructions": interval_instructions,
             "snapshot": snapshot,
-        })
+        }
+        try:
+            seq = self.journal.append(record)
+        except PersistenceError:
+            if snapshot is None or self.journal.closed:
+                raise
+            record.update(snapshot=None, snapshot_ref="checkpoint")
+            seq = self.journal.append(record)
+            self.checkpoints.write(name, {
+                "seq": seq,
+                "snapshot": snapshot,
+                "meta": {"interval_instructions": interval_instructions},
+            })
+            self._session_seqs[name] = seq
+            self._first_seqs[name] = seq
+            self._checkpoint_seqs[name] = seq
+            return seq
         self._session_seqs[name] = seq
         self._first_seqs[name] = seq
         self._checkpoint_seqs.pop(name, None)
@@ -243,9 +266,14 @@ class PersistenceManager:
             return None
         document = self.checkpoints.load(name)
         if document is None:
+            self.hydrate_failures += 1
+            if self.checkpoints.path_for(name).exists():
+                # Transient read failure: the checkpoint is still on
+                # disk, so keep the cold registration (and the name
+                # reservation) for a later retry.
+                return None
             self._cold.pop(name, None)
             self._set_cold_gauge()
-            self.hydrate_failures += 1
             return None
         try:
             session = Session(
@@ -287,8 +315,15 @@ class PersistenceManager:
     # -- checkpoint + compact -------------------------------------------------
 
     def checkpoint_session(self, session: Session) -> int:
-        """Snapshot one live session; returns the seq it covers."""
+        """Snapshot one live session; returns the seq it covers.
+
+        The journal is synced first: a published checkpoint covering
+        seq N asserts the on-disk journal reaches N, so recovery's
+        seq accounting stays consistent after a machine crash.
+        """
         seq = self._session_seqs.get(session.name, 0)
+        if self.journal.unsynced_records:
+            self.journal.sync()
         self.checkpoints.write(session.name, {
             "seq": seq,
             "snapshot": snapshot_tracker(session.tracker),
@@ -307,8 +342,14 @@ class PersistenceManager:
 
     def checkpoint_all(self, sessions: Iterable[Session]) -> int:
         """Checkpoint every *dirty* live session (journaled past its
-        last checkpoint), then fsync the journal; returns the number
-        written."""
+        last checkpoint); returns the number written.
+
+        The journal is fsynced *before* any checkpoint publishes (and
+        unconditionally, so each sweep also bounds durability lag even
+        when every session is clean) — a checkpoint must never be
+        durable while the journal records it covers are not.
+        """
+        self.journal.sync()
         written = 0
         for session in sessions:
             current = self._session_seqs.get(session.name, 0)
@@ -317,7 +358,6 @@ class PersistenceManager:
                 continue
             self.checkpoint_session(session)
             written += 1
-        self.journal.sync()
         return written
 
     def compact(self) -> int:

@@ -34,7 +34,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, TYPE_CHECKING, Union
 
 from repro.core.online import PhaseTracker
-from repro.errors import ReproError
+from repro.errors import PersistenceError, ReproError
 from repro.persistence.checkpoints import CheckpointStore
 from repro.persistence.journal import ReplayStats, replay_journal
 from repro.service.session import build_config
@@ -91,6 +91,15 @@ def _materialize_open(record: dict) -> PhaseTracker:
     snapshot = record.get("snapshot")
     if snapshot is not None:
         return restore_tracker(snapshot)
+    if record.get("snapshot_ref") == "checkpoint":
+        # The restore snapshot was too large to travel inline and was
+        # published as a checkpoint covering this record. Reaching
+        # here means that checkpoint is gone — a fresh tracker would
+        # silently impersonate the restored one.
+        raise PersistenceError(
+            "open record references a checkpointed snapshot that no "
+            "longer exists"
+        )
     return PhaseTracker(
         build_config(record.get("config")),
         interval_instructions=(
@@ -128,7 +137,13 @@ def recover_state(
     }
     replay = replay_journal(journal_root, truncate=True, telemetry=telemetry)
     result.journal = replay.stats
-    result.next_seq = replay.stats.next_seq
+    # A crash can leave a durable checkpoint covering seqs the on-disk
+    # journal never kept (sync=none, or a tail lost to the machine).
+    # Never hand those seqs out again: a restarted journal reusing
+    # them would have its records skipped as "covered" on the *next*
+    # recovery, silently dropping acknowledged observes.
+    max_covered = max(checkpoint_seq.values(), default=0)
+    result.next_seq = max(replay.stats.next_seq, max_covered + 1)
 
     live = result.live
     dead: set = set()  # closed or damaged-beyond-recovery this replay

@@ -176,6 +176,7 @@ class PhaseService:
         self.requests_served = 0
         self.errors_returned = 0
         self.connections_refused = 0
+        self.checkpoint_failures = 0
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: Dict[int, _Connection] = {}
         self._draining = False
@@ -211,6 +212,10 @@ class PhaseService:
             self._g_connections = telemetry.gauge(
                 "repro_service_connections",
                 "Open client connections",
+            )
+            self._m_checkpoint_failures = telemetry.counter(
+                "repro_service_checkpoint_failures_total",
+                "Periodic checkpoint sweeps that raised",
             )
 
     # -- lifecycle ------------------------------------------------------------
@@ -336,8 +341,20 @@ class PhaseService:
     async def _checkpoint_loop(self) -> None:
         while True:
             await asyncio.sleep(self.checkpoint_interval)
-            self._persistence.checkpoint_all(self.registry.sessions())
-            self._persistence.compact()
+            try:
+                self._persistence.checkpoint_all(self.registry.sessions())
+                self._persistence.compact()
+            except Exception as error:
+                # One failed sweep (disk full, transient I/O) must not
+                # kill the loop: with no checkpoints the journal grows
+                # unboundedly and recovery time degrades silently.
+                self.checkpoint_failures += 1
+                if self._telemetry is not None:
+                    self._telemetry.emit(
+                        "checkpoint_sweep_failed",
+                        error=f"{type(error).__name__}: {error}",
+                    )
+                    self._m_checkpoint_failures.inc()
 
     # -- connection handling ---------------------------------------------------
 
@@ -505,6 +522,7 @@ class PhaseService:
             )
             if self._persistence is not None:
                 stats["persistence"] = self._persistence.stats()
+                stats["checkpoint_failures"] = self.checkpoint_failures
             return stats
         if isinstance(request, protocol.OpenRequest):
             session = self.registry.open(

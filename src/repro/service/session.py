@@ -395,7 +395,24 @@ class SessionRegistry:
         session = self.resolver(name)
         if session is None:
             return None
-        self._make_room()
+        try:
+            self._make_room()
+        except Exception:
+            # Resolving consumed the durable tier's cold copy; with the
+            # table full and eviction disabled, hand the session
+            # straight back to disk before surfacing the refusal, or
+            # its state (and name reservation) would be silently lost.
+            if self.on_evict is not None:
+                try:
+                    self.on_evict(session, "hydrate_refused")
+                except Exception as error:
+                    if self._telemetry is not None:
+                        self._telemetry.emit(
+                            "session_evict_hook_failed",
+                            session=session.name, reason="hydrate_refused",
+                            error=f"{type(error).__name__}: {error}",
+                        )
+            raise
         self._sessions[name] = session
         self.sessions_hydrated += 1
         self._emit("session_hydrated", session)

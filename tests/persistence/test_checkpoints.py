@@ -116,6 +116,31 @@ class TestCorruption:
         assert list(documents) == ["good"]
         assert store.corrupt_dropped == 1
 
+    def test_transient_read_error_keeps_the_file(
+        self, tmp_path, monkeypatch
+    ):
+        import builtins
+
+        store = CheckpointStore(tmp_path)
+        store.write("alpha", sample_document())
+        target = store.path_for("alpha")
+        real_open = builtins.open
+
+        def failing_open(file, *args, **kwargs):
+            if file == target:
+                raise OSError(5, "Input/output error")
+            return real_open(file, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "open", failing_open)
+        assert store.load("alpha") is None
+        assert store.read_errors == 1
+        assert store.corrupt_dropped == 0
+        # The intact file survives the transient failure...
+        assert target.exists()
+        monkeypatch.undo()
+        # ...so a retry serves the durable state.
+        assert store.load("alpha")["seq"] == 7
+
     def test_corruption_emits_event_and_counter(self, tmp_path):
         import io
 

@@ -203,6 +203,49 @@ class TestInThreadServiceDurability:
         finally:
             handle.stop()
 
+    def test_checkpoint_loop_survives_a_failed_sweep(self, tmp_path):
+        import asyncio
+
+        from repro.errors import PersistenceError
+        from repro.service.server import PhaseService
+
+        service = PhaseService(
+            data_dir=str(tmp_path / "data"), checkpoint_interval=0.01
+        )
+        service._persistence.close()
+
+        calls = []
+
+        class ExplodingPersistence:
+            def checkpoint_all(self, sessions):
+                calls.append("sweep")
+                if len(calls) == 1:
+                    raise PersistenceError("disk full")
+
+            def compact(self):
+                return 0
+
+        service._persistence = ExplodingPersistence()
+
+        async def run():
+            task = asyncio.ensure_future(service._checkpoint_loop())
+            deadline = asyncio.get_event_loop().time() + 5
+            while (
+                len(calls) < 3
+                and asyncio.get_event_loop().time() < deadline
+            ):
+                await asyncio.sleep(0.01)
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+
+        asyncio.run(run())
+        # The first sweep failed; the loop counted it and kept going.
+        assert len(calls) >= 3
+        assert service.checkpoint_failures == 1
+
     def test_observe_batches_are_journaled(self, tmp_path):
         batches = branch_batches(seed=12, batches=2)
         handle = start_in_thread(

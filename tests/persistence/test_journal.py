@@ -203,6 +203,25 @@ class TestSyncModes:
             append_n(journal, 4)
         assert replay_journal(tmp_path).stats.records == 4
 
+    def test_oversized_record_is_refused_before_write(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.persistence.journal as journal_module
+
+        monkeypatch.setattr(journal_module, "MAX_RECORD_BYTES", 256)
+        with Journal(tmp_path) as journal:
+            journal.append({"kind": "open", "session": "s"})
+            with pytest.raises(PersistenceError, match="frame cap"):
+                journal.append({
+                    "kind": "open", "session": "s",
+                    "snapshot": "x" * 1024,
+                })
+            # Nothing was written and the seq was not consumed.
+            journal.append({"kind": "close", "session": "s"})
+        replay = replay_journal(tmp_path)
+        assert [r["seq"] for r in replay.records] == [1, 2]
+        assert replay.stats.torn_tails == 0
+
     def test_append_after_close_raises(self, tmp_path):
         journal = Journal(tmp_path)
         journal.close()

@@ -123,6 +123,24 @@ class TestEvictHydrate:
         assert len(manager.checkpoints) == 0
         registry.open(name="victim")  # name is reusable again
 
+    def test_transient_checkpoint_read_error_keeps_cold_entry(
+        self, tmp_path, monkeypatch
+    ):
+        manager, registry, _ = durable_registry(tmp_path, max_sessions=2)
+        batches = branch_batches(seed=18, batches=1)
+        open_and_drive(manager, registry, "victim", batches)
+        open_and_drive(manager, registry, "b", batches)
+        open_and_drive(manager, registry, "c", batches)  # evicts victim
+        # Checkpoint unreadable but still on disk (EIO-style): the
+        # cold registration must survive for a later retry.
+        monkeypatch.setattr(manager.checkpoints, "load", lambda name: None)
+        with pytest.raises(SessionNotFoundError):
+            registry.get("victim")
+        assert manager.hydrate_failures == 1
+        assert manager.cold_names() == ["victim"]
+        monkeypatch.undo()
+        assert registry.get("victim").branches_ingested == 200
+
     def test_hydrate_failure_is_counted_not_raised(self, tmp_path):
         manager, registry, _ = durable_registry(tmp_path, max_sessions=2)
         batches = branch_batches(seed=6, batches=1)
@@ -137,6 +155,31 @@ class TestEvictHydrate:
 
 
 class TestCrashRecovery:
+    def test_oversized_open_snapshot_travels_via_checkpoint(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.persistence.journal as journal_module
+
+        # Frame cap small enough that a warmed tracker's snapshot
+        # cannot travel inline in the open record.
+        monkeypatch.setattr(journal_module, "MAX_RECORD_BYTES", 2_048)
+        donor = PhaseTracker(interval_instructions=INTERVAL_INSTRUCTIONS)
+        for pcs, counts in branch_batches(seed=19, batches=3):
+            donor.observe_batch(pcs, counts, cpi=1.1)
+        snapshot = snapshot_tracker(donor)
+        assert len(dumps(snapshot)) > 2_048
+
+        manager, registry, _ = durable_registry(tmp_path)
+        session = registry.open(name="big", snapshot=snapshot)
+        manager.log_open("big", snapshot=snapshot)
+        before = dumps(snapshot_tracker(session.tracker))
+        del manager, registry  # kill -9
+
+        manager2, registry2, _ = durable_registry(tmp_path)
+        assert "big" in manager2.cold_names()
+        after = dumps(snapshot_tracker(registry2.get("big").tracker))
+        assert after == before
+
     def test_unclean_restart_recovers_byte_identical(self, tmp_path):
         manager, registry, _ = durable_registry(tmp_path)
         batches = branch_batches(seed=7, batches=5)

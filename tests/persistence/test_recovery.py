@@ -228,6 +228,40 @@ class TestReplay:
             snapshot_tracker(reference)
         )
 
+    def test_next_seq_never_reuses_checkpoint_covered_seqs(self, tmp_path):
+        # A crash under sync=none (or a machine crash eating the
+        # journal tail) can leave a durable checkpoint covering seqs
+        # the on-disk journal lost. The restarted journal must not
+        # hand those seqs out again — records reusing them would be
+        # skipped as "covered" on the next recovery.
+        journal_root, checkpoints = stores(tmp_path)
+        tracker = PhaseTracker(interval_instructions=INTERVAL_INSTRUCTIONS)
+        with Journal(journal_root) as journal:
+            journal.append(open_record("a"))  # seq 1; observes 2..9 lost
+        checkpoints.write("a", {
+            "seq": 9,
+            "snapshot": snapshot_tracker(tracker),
+            "meta": {},
+        })
+        result = recover_state(journal_root, checkpoints)
+        assert result.cold == {"a": 9}
+        assert result.next_seq == 10
+
+    def test_open_with_missing_checkpointed_snapshot_is_damage(
+        self, tmp_path
+    ):
+        # An oversized restore snapshot travels as a checkpoint, not
+        # inline; if that checkpoint is gone, building a fresh tracker
+        # would silently impersonate the restored one.
+        journal_root, checkpoints = stores(tmp_path)
+        with Journal(journal_root) as journal:
+            journal.append(
+                dict(open_record("a"), snapshot_ref="checkpoint")
+            )
+        result = recover_state(journal_root, checkpoints)
+        assert result.damaged_sessions == 1
+        assert result.live == {} and result.cold == {}
+
     def test_unknown_record_kind_is_orphaned(self, tmp_path):
         journal_root, checkpoints = stores(tmp_path)
         with Journal(journal_root) as journal:

@@ -312,6 +312,28 @@ class TestReclamationHooks:
         assert "a" not in registry and "phoenix" in registry
         assert registry.stats()["evicted"] == 1
 
+    def test_refused_hydration_hands_the_session_back(self):
+        from repro.service.session import Session
+
+        shelf = {
+            "phoenix": Session(
+                "phoenix", PhaseTracker(), 0.0, recyclable=False
+            )
+        }
+        returned = []
+        registry = SessionRegistry(
+            max_sessions=1, evict_lru=False,
+            resolver=lambda name: shelf.pop(name, None),
+            on_evict=lambda s, r: returned.append((s.name, r)),
+        )
+        registry.open(name="a")
+        with pytest.raises(ServiceOverloadedError):
+            registry.get("phoenix")
+        # Resolving consumed the shelf copy; the evict hook must get
+        # the session back instead of it being silently dropped.
+        assert returned == [("phoenix", "hydrate_refused")]
+        assert "phoenix" not in registry
+
     def test_close_miss_consults_resolver(self):
         from repro.service.session import Session
 
