@@ -1,0 +1,182 @@
+"""Benchmark: TrackerPool vs a loop of scalar PhaseTrackers.
+
+The SoA pool's claim is throughput at fleet scale: one
+``observe_batch`` call ingests branch records for thousands of
+concurrent sessions and classifies every interval boundary in a
+handful of vectorized passes, where the scalar path pays Python-level
+per-record and per-boundary cost in each tracker.
+
+The workload models a service ingesting interleaved streams: records
+arrive in small per-session flushes (a couple of records per session
+per round, shuffled across sessions), and intervals are sized so every
+session crosses a boundary mid-run — so the measurement covers
+ingest, signature formation, batched classification, and predictor
+updates. The scalar loop pays a fixed Python dispatch cost per
+session per flush; the pool folds a whole round into one call.
+
+Run ``python benchmarks/bench_tracker_pool.py`` to measure the
+1k/4k/16k grid directly and append the results to
+``benchmarks/TRAJECTORY.md``; the pytest-benchmark entry points cover
+the same drive functions for trend tracking.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import ClassifierConfig, PhaseTracker, TrackerPool
+
+RECORDS_PER_SESSION = 60  # 30 rounds x 2 records per flush
+ROUNDS = 30
+INTERVAL_INSTRUCTIONS = 4_000  # ~40 records per interval: real boundaries
+SESSION_GRID = (1_000, 4_000, 16_000)
+
+
+def build_workload(sessions, seed=0):
+    """Per-round interleaved (session, pc, count) streams."""
+    rng = np.random.default_rng(seed)
+    per_round = sessions * (RECORDS_PER_SESSION // ROUNDS)
+    rounds = []
+    for _ in range(ROUNDS):
+        slots = rng.permutation(
+            np.repeat(np.arange(sessions), RECORDS_PER_SESSION // ROUNDS)
+        )
+        pcs = 0x400000 + (
+            (slots % 7) * 64 + rng.integers(0, 24, size=per_round)
+        ) * 4
+        counts = rng.integers(50, 150, size=per_round)
+        rounds.append((slots, pcs, counts))
+    return rounds
+
+
+def drive_pool(sessions, rounds):
+    pool = TrackerPool(
+        capacity=sessions, config=ClassifierConfig.paper_default()
+    )
+    handles = [
+        pool.acquire(interval_instructions=INTERVAL_INSTRUCTIONS)
+        for _ in range(sessions)
+    ]
+    slot_ids = np.array([handle.slot for handle in handles])
+    reports = 0
+    for slots, pcs, counts in rounds:
+        reports += len(
+            pool.observe_batch(slot_ids[slots], pcs, counts, cpi=1.0)
+        )
+    return reports
+
+
+def drive_scalar(sessions, rounds):
+    trackers = [
+        PhaseTracker(
+            ClassifierConfig.paper_default(),
+            interval_instructions=INTERVAL_INSTRUCTIONS,
+        )
+        for _ in range(sessions)
+    ]
+    reports = 0
+    for slots, pcs, counts in rounds:
+        order = np.argsort(slots, kind="stable")
+        grouped_slots = slots[order]
+        grouped_pcs = pcs[order]
+        grouped_counts = counts[order]
+        boundaries = np.flatnonzero(np.diff(grouped_slots)) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [len(grouped_slots)]))
+        for start, end in zip(starts, ends):
+            reports += len(
+                trackers[grouped_slots[start]].observe_batch(
+                    grouped_pcs[start:end],
+                    grouped_counts[start:end],
+                    cpi=1.0,
+                )
+            )
+    return reports
+
+
+def test_pool_1k_sessions(benchmark):
+    rounds = build_workload(1_000)
+    reports = benchmark(drive_pool, 1_000, rounds)
+    assert reports > 0
+
+
+def test_pool_4k_sessions(benchmark):
+    rounds = build_workload(4_000)
+    reports = benchmark(drive_pool, 4_000, rounds)
+    assert reports > 0
+
+
+def test_pool_16k_sessions(benchmark):
+    rounds = build_workload(16_000)
+    reports = benchmark(drive_pool, 16_000, rounds)
+    assert reports > 0
+
+
+def test_scalar_loop_4k_sessions(benchmark):
+    rounds = build_workload(4_000)
+    reports = benchmark(drive_scalar, 4_000, rounds)
+    assert reports > 0
+
+
+def test_pool_is_5x_over_scalar_loop_at_4k():
+    """The PR's acceptance bar: >= 5x throughput at 4k sessions."""
+    rounds = build_workload(4_000)
+    drive_pool(4_000, rounds)  # warm numpy/code paths
+    start = time.perf_counter()
+    pool_reports = drive_pool(4_000, rounds)
+    pool_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    scalar_reports = drive_scalar(4_000, rounds)
+    scalar_seconds = time.perf_counter() - start
+    assert pool_reports == scalar_reports
+    assert scalar_seconds / pool_seconds >= 5.0
+
+
+def _measure(fn, sessions, rounds, repeats=3):
+    best = float("inf")
+    reports = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        reports = fn(sessions, rounds)
+        best = min(best, time.perf_counter() - start)
+    return best, reports
+
+
+def main():
+    lines = []
+    records = RECORDS_PER_SESSION
+    for sessions in SESSION_GRID:
+        rounds = build_workload(sessions)
+        drive_pool(sessions, rounds)  # warm-up
+        pool_s, pool_reports = _measure(drive_pool, sessions, rounds)
+        scalar_s, scalar_reports = _measure(
+            drive_scalar, sessions, rounds, repeats=1
+        )
+        assert pool_reports == scalar_reports
+        total = sessions * records
+        line = (
+            f"| {sessions:>6,} | {total / pool_s:>12,.0f} | "
+            f"{total / scalar_s:>12,.0f} | {scalar_s / pool_s:>6.1f}x | "
+            f"{pool_reports:>7,} |"
+        )
+        print(line)
+        lines.append(line)
+
+    from pathlib import Path
+
+    trajectory = Path(__file__).parent / "TRAJECTORY.md"
+    header = not trajectory.exists()
+    with trajectory.open("a") as out:
+        if header:
+            out.write("# Benchmark trajectory\n\nAppend-only measured "
+                      "results, newest last.\n")
+        out.write("\n## bench_tracker_pool (records/s, best of 3, "
+                  f"{records} records/session)\n\n")
+        out.write("| sessions | pool rec/s | scalar rec/s | speedup | "
+                  "reports |\n|---|---|---|---|---|\n")
+        out.write("\n".join(lines) + "\n")
+    print(f"appended to {trajectory}")
+
+
+if __name__ == "__main__":
+    main()

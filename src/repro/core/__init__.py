@@ -19,6 +19,10 @@ Sherwood et al. (ISCA 2003) plus the four improvements of Lau et al.
 - :mod:`repro.core.events` — per-interval results and whole-run records.
 - :mod:`repro.core.online` — the streaming branch-by-branch
   :class:`~repro.core.online.PhaseTracker` for deployable systems.
+- :mod:`repro.core.pool` — the structure-of-arrays
+  :class:`~repro.core.pool.TrackerPool` batching thousands of logical
+  trackers into single numpy passes, with the scalar tracker as its
+  behavioural oracle.
 """
 
 from repro.core.accumulator import AccumulatorTable
@@ -32,6 +36,12 @@ from repro.core.config import ClassifierConfig, TRANSITION_PHASE_ID
 from repro.core.online import PhaseTracker, TrackerReport
 from repro.core.distance import manhattan_distance, relative_distance
 from repro.core.events import ClassificationResult, ClassificationRun
+from repro.core.pool import (
+    ClassifierPool,
+    PooledTracker,
+    TrackerPool,
+    classify_traces_batched,
+)
 from repro.core.signature import Signature
 from repro.core.signature_table import SignatureTable, TableEntry
 
@@ -41,15 +51,19 @@ __all__ = [
     "ClassificationResult",
     "ClassificationRun",
     "ClassifierConfig",
+    "ClassifierPool",
     "DynamicBitSelector",
     "PhaseClassifier",
     "PhaseTracker",
+    "PooledTracker",
     "Signature",
     "SignatureTable",
     "StaticBitSelector",
     "TRANSITION_PHASE_ID",
     "TableEntry",
+    "TrackerPool",
     "TrackerReport",
+    "classify_traces_batched",
     "manhattan_distance",
     "relative_distance",
 ]

@@ -69,14 +69,20 @@ class TrackerReport:
     prediction_confident: bool
     predicted_length_class: Optional[int]
 
-    def to_dict(self) -> dict:
+    def to_dict(self, legacy: bool = False) -> dict:
         """The report's wire format: plain JSON-safe field/value pairs.
 
         This is the single serializer every consumer shares — telemetry
         ``interval`` events and the service protocol's interval pushes
-        both carry exactly these keys.
+        both carry exactly these keys. ``legacy=True`` additionally
+        emits the deprecated ``"interval"`` alias of
+        ``"interval_index"`` for consumers that predate the rename;
+        the alias is off by default and slated for removal.
         """
-        return asdict(self)
+        payload = asdict(self)
+        if legacy:
+            payload["interval"] = payload["interval_index"]
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "TrackerReport":
@@ -482,7 +488,7 @@ class PhaseTracker:
     ) -> Optional[NextPhasePrediction]:
         """Train predictors on the classified interval; predict the next."""
         self.next_phase.step(phase_id)
-        self.length_predictor.observe(phase_id)
+        self.length_predictor.advance(phase_id)
         try:
             return self.next_phase.predict()
         except PredictionError:  # pragma: no cover - first interval only

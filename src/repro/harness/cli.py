@@ -306,6 +306,12 @@ def _serve_main(argv: List[str]) -> int:
         help="refuse opens when full instead of evicting the LRU session",
     )
     parser.add_argument(
+        "--pool-slots", type=int, default=None, metavar="N",
+        help="back default-config sessions with an N-slot SoA tracker "
+        "pool (repro.core.pool); sessions with custom configs fall "
+        "back to scalar trackers (default: no pool)",
+    )
+    parser.add_argument(
         "--max-connections", type=int, default=64,
         help="concurrent client-connection cap (default 64)",
     )
@@ -360,6 +366,7 @@ def _serve_main(argv: List[str]) -> int:
         host=args.host,
         port=args.port,
         max_sessions=args.max_sessions,
+        pool_slots=args.pool_slots,
         idle_ttl=args.idle_ttl,
         evict_lru=not args.no_evict,
         max_connections=args.max_connections,

@@ -651,7 +651,7 @@ def fig9(scale: float = 1.0) -> ExperimentResult:
             class_columns[label].append(count / total * 100)
         predictor = PhaseLengthPredictor()
         for phase_id in run.phase_ids:
-            predictor.observe(int(phase_id))
+            predictor.advance(int(phase_id))
         mispredictions.append(predictor.stats.misprediction_rate * 100)
     tables = [
         render_table(

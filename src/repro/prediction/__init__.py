@@ -22,8 +22,22 @@ the run-length *class* of the next phase.
   evaluation (Fig. 8 categories).
 - :mod:`repro.prediction.length` — run-length classes and the RLE-2
   length predictor with hysteresis (§6.2, Fig. 9).
+- :mod:`repro.prediction.protocol` — the unified
+  :class:`~repro.prediction.protocol.PhasePredictor` contract every
+  predictor implements (``advance(phase_id) -> PhaseObservation``).
+
+Every predictor here conforms to :class:`PhasePredictor`: drive it
+with ``advance(phase_id)`` and read the uniform
+:class:`PhaseObservation` it returns. The historical per-family
+``observe()`` signatures survive as deprecation shims.
+:class:`CompositePhasePredictor` is the one deliberate exception — it
+*drives* component predictors through the protocol and exposes the
+richer ``step``/``predict`` interface trackers consume.
 """
 
+from typing import Optional
+
+from repro.errors import SnapshotError
 from repro.prediction.assoc_table import AssociativeTable
 from repro.prediction.change_eval import (
     ChangePredictionStats,
@@ -39,11 +53,46 @@ from repro.prediction.length import (
     length_class,
 )
 from repro.prediction.perfect import PerfectMarkovPredictor
+from repro.prediction.protocol import PhaseObservation, PhasePredictor
 from repro.prediction.rle import RLEChangePredictor
 from repro.prediction.tournament import TournamentChangePredictor
 
+#: Change-predictor registry keyed by snapshot kind — the vocabulary
+#: snapshot documents use to name the predictor that must be rebuilt.
+CHANGE_PREDICTOR_KINDS = {
+    RLEChangePredictor.snapshot_kind: RLEChangePredictor,
+    MarkovChangePredictor.snapshot_kind: MarkovChangePredictor,
+}
+
+
+def change_predictor_from_spec(spec: "Optional[dict]"):
+    """Rebuild a change predictor from its snapshot spec.
+
+    ``spec`` is the ``{"kind": ..., "kwargs": ...}`` mapping a tracker
+    snapshot carries (``None`` means pure last-value — no change
+    predictor). Raises :class:`~repro.errors.SnapshotError` for an
+    unknown kind or kwargs the predictor's constructor rejects.
+    """
+    if spec is None:
+        return None
+    kind = spec.get("kind")
+    predictor_cls = CHANGE_PREDICTOR_KINDS.get(kind)
+    if predictor_cls is None:
+        raise SnapshotError(
+            f"unknown change-predictor kind {kind!r}; expected one of "
+            f"{sorted(CHANGE_PREDICTOR_KINDS)}"
+        )
+    try:
+        return predictor_cls(**spec.get("kwargs", {}))
+    except Exception as error:
+        raise SnapshotError(
+            f"cannot rebuild {kind!r} change predictor: {error}"
+        ) from error
+
+
 __all__ = [
     "AssociativeTable",
+    "CHANGE_PREDICTOR_KINDS",
     "ChangePredictionStats",
     "CompositePhasePredictor",
     "ConfidenceCounter",
@@ -53,9 +102,12 @@ __all__ = [
     "NextPhaseStats",
     "PerfectMarkovPredictor",
     "PhaseLengthPredictor",
+    "PhaseObservation",
+    "PhasePredictor",
     "RLEChangePredictor",
     "SaturatingCounter",
     "TournamentChangePredictor",
+    "change_predictor_from_spec",
     "evaluate_change_predictor",
     "length_class",
 ]

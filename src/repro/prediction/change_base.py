@@ -24,6 +24,7 @@ from typing import Hashable, List, Optional, Tuple
 from repro.errors import ConfigurationError, PredictionError
 from repro.prediction.assoc_table import AssociativeTable, tuple_key
 from repro.prediction.counters import ConfidenceCounter
+from repro.prediction.protocol import PhaseObservation, _deprecated_observe
 
 ENTRY_KINDS = ("single", "last4", "top1", "top4")
 
@@ -206,11 +207,11 @@ class ChangePredictorBase:
         """Retained completed (phase, length) runs, oldest first."""
         return list(self._runs)
 
-    def observe(self, phase_id: int) -> Optional[Tuple[int, int]]:
+    def advance(self, phase_id: int) -> PhaseObservation:
         """Advance history with one classified interval.
 
-        Returns the completed (phase, run length) pair when this
-        interval *changes* phase (i.e. ends a run), else ``None``. The
+        ``completed_run`` carries the completed (phase, run length)
+        pair when this interval *changes* phase (i.e. ends a run). The
         caller is expected to have consumed predictions *before* calling
         this, and to train the table via :meth:`train_change` /
         :meth:`note_same_phase` per the §5.2.3 update rules.
@@ -218,16 +219,27 @@ class ChangePredictorBase:
         if self._current_phase is None:
             self._current_phase = phase_id
             self._current_run = 1
-            return None
+            return PhaseObservation(phase_id=phase_id, phase_changed=False)
         if phase_id == self._current_phase:
             self._current_run += 1
-            return None
+            return PhaseObservation(phase_id=phase_id, phase_changed=False)
         completed = (self._current_phase, self._current_run)
         self._runs.append(completed)
         self._runs = self._runs[-self.history_depth:]
         self._current_phase = phase_id
         self._current_run = 1
-        return completed
+        return PhaseObservation(
+            phase_id=phase_id, phase_changed=True, completed_run=completed
+        )
+
+    def observe(self, phase_id: int) -> Optional[Tuple[int, int]]:
+        """Deprecated legacy spelling of :meth:`advance`.
+
+        Returns the completed (phase, run length) pair on a phase
+        change, else ``None`` — the old contract. Use :meth:`advance`.
+        """
+        _deprecated_observe(type(self).__name__)
+        return self.advance(phase_id).completed_run
 
     # -- prediction -----------------------------------------------------------
 

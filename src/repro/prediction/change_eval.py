@@ -89,16 +89,19 @@ def evaluate_change_predictor(
     stats = ChangePredictionStats()
     if isinstance(predictor, PerfectMarkovPredictor):
         for phase_id in phase_ids:
-            verdict = predictor.observe(int(phase_id))
-            if verdict is None:
+            observation = predictor.advance(int(phase_id))
+            if not observation.phase_changed:
                 continue
-            stats.record("conf_correct" if verdict else "conf_incorrect")
+            stats.record(
+                "conf_correct"
+                if observation.oracle_correct
+                else "conf_incorrect"
+            )
         return stats
 
     for phase_id in phase_ids:
         phase_id = int(phase_id)
-        completed = predictor.observe(phase_id)
-        if completed is None:
+        if not predictor.advance(phase_id).phase_changed:
             continue
         key = predictor.change_key()
         prediction = predictor.predict_change()

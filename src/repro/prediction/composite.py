@@ -164,9 +164,9 @@ class CompositePhasePredictor:
         prediction pending for the next call.
         """
         if not self._seeded:
-            self.last_value.observe(phase_id)
+            self.last_value.advance(phase_id)
             if self.change_predictor is not None:
-                self.change_predictor.observe(phase_id)
+                self.change_predictor.advance(phase_id)
             self._seeded = True
             self._prepare_prediction()
             return None
@@ -273,12 +273,11 @@ class CompositePhasePredictor:
             self.stats.record(f"{prefix}_lv_{suffix}")
 
     def _train(self, prediction: NextPhasePrediction, actual: int) -> None:
-        self.last_value.observe(actual)
+        self.last_value.advance(actual)
         predictor = self.change_predictor
         if predictor is None:
             return
-        completed = predictor.observe(actual)
-        if completed is not None:
+        if predictor.advance(actual).phase_changed:
             # A phase change: train the entry keyed by the completed run.
             predictor.train_change(predictor.change_key(), actual)
         elif prediction.table_hit:

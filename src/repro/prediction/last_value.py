@@ -15,6 +15,7 @@ from typing import Dict, Optional
 
 from repro.errors import PredictionError
 from repro.prediction.counters import ConfidenceCounter
+from repro.prediction.protocol import PhaseObservation, _deprecated_observe
 
 
 @dataclass(frozen=True)
@@ -78,20 +79,29 @@ class LastValuePredictor:
         )
         return LastValuePrediction(phase_id=self._current, confident=confident)
 
-    def observe(self, phase_id: int) -> None:
+    def advance(self, phase_id: int) -> PhaseObservation:
         """Feed the actual phase of the next interval.
 
         Trains the confidence counter of the phase the prediction was
         made *from* and advances the last value. The first observation
         only seeds the last value.
         """
+        changed = False
         if self._current is not None:
             correct = phase_id == self._current
+            changed = not correct
             self.predictions += 1
             if correct:
                 self.correct += 1
             self._counter_for(self._current).record(correct)
         self._current = phase_id
+        return PhaseObservation(phase_id=phase_id, phase_changed=changed)
+
+    def observe(self, phase_id: int) -> None:
+        """Deprecated legacy spelling of :meth:`advance` (returned
+        nothing). Use :meth:`advance`."""
+        _deprecated_observe(type(self).__name__)
+        self.advance(phase_id)
 
     @property
     def current_phase(self) -> Optional[int]:

@@ -21,6 +21,7 @@ from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.prediction.assoc_table import AssociativeTable, tuple_key
+from repro.prediction.protocol import PhaseObservation, _deprecated_observe
 
 #: Inclusive lower bounds of the four run-length classes (in intervals).
 LENGTH_CLASS_BOUNDS: Tuple[int, ...] = (1, 16, 128, 1024)
@@ -161,15 +162,15 @@ class PhaseLengthPredictor:
             return None
         return self._outstanding[1]
 
-    def observe(self, phase_id: int) -> None:
+    def advance(self, phase_id: int) -> PhaseObservation:
         """Feed one classified interval."""
         if self._current_phase is None:
             self._current_phase = phase_id
             self._current_run = 1
-            return
+            return PhaseObservation(phase_id=phase_id, phase_changed=False)
         if phase_id == self._current_phase:
             self._current_run += 1
-            return
+            return PhaseObservation(phase_id=phase_id, phase_changed=False)
 
         # The current run just completed: score the outstanding
         # prediction for it and train the entry it came from.
@@ -204,6 +205,15 @@ class PhaseLengthPredictor:
 
         self._current_phase = phase_id
         self._current_run = 1
+        return PhaseObservation(
+            phase_id=phase_id, phase_changed=True, completed_run=completed
+        )
+
+    def observe(self, phase_id: int) -> None:
+        """Deprecated legacy spelling of :meth:`advance` (returned
+        nothing). Use :meth:`advance`."""
+        _deprecated_observe(type(self).__name__)
+        self.advance(phase_id)
 
     # -- lifecycle / snapshot hooks -------------------------------------------
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import List, Optional, Set, Tuple
 
 from repro.errors import ConfigurationError
+from repro.prediction.protocol import PhaseObservation, _deprecated_observe
 
 
 class PerfectMarkovPredictor:
@@ -31,24 +32,24 @@ class PerfectMarkovPredictor:
             return None
         return tuple(self._unique_history[-self.order:])
 
-    def observe(self, phase_id: int) -> Optional[bool]:
+    def advance(self, phase_id: int) -> PhaseObservation:
         """Feed one classified interval.
 
-        Returns ``None`` when the phase did not change; on a phase
-        change, returns whether the oracle had seen this transition
-        before (i.e. whether a perfect predictor counts it correct),
-        and records the transition.
+        ``oracle_correct`` is ``None`` when the phase did not change;
+        on a phase change, it reports whether the oracle had seen this
+        transition before (i.e. whether a perfect predictor counts it
+        correct), and the transition is recorded.
         """
         if self._current is None:
             self._current = phase_id
             self._unique_history.append(phase_id)
-            return None
+            return PhaseObservation(phase_id=phase_id, phase_changed=False)
         if phase_id == self._current:
-            return None
+            return PhaseObservation(phase_id=phase_id, phase_changed=False)
 
         key = self._key()
         if key is None:
-            correct: Optional[bool] = False
+            correct = False
         else:
             correct = (key, phase_id) in self._seen
             self._seen.add((key, phase_id))
@@ -57,7 +58,25 @@ class PerfectMarkovPredictor:
         self._unique_history.append(phase_id)
         # Bound retained history: only the last `order` entries matter.
         self._unique_history = self._unique_history[-(self.order + 1):]
-        return correct
+        return PhaseObservation(
+            phase_id=phase_id, phase_changed=True, oracle_correct=correct
+        )
+
+    def observe(self, phase_id: int) -> Optional[bool]:
+        """Deprecated legacy spelling of :meth:`advance`.
+
+        Returns ``None`` on stable intervals and the oracle verdict on
+        a phase change — the old contract. Use :meth:`advance`.
+        """
+        _deprecated_observe(type(self).__name__)
+        return self.advance(phase_id).oracle_correct
+
+    def reset(self) -> None:
+        """Forget all recorded transitions and history, keeping the
+        Markov order in place."""
+        self._seen.clear()
+        self._unique_history.clear()
+        self._current = None
 
     @property
     def transitions_recorded(self) -> int:

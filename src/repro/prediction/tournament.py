@@ -11,7 +11,7 @@ prefer the currently stronger component, falling back to the other on
 a miss or unconfident entry.
 
 The combiner duck-types the :class:`ChangePredictorBase` evaluation
-interface (``observe`` / ``change_key`` / ``predict_change`` /
+interface (``advance`` / ``change_key`` / ``predict_change`` /
 ``train_change``) so :func:`repro.prediction.change_eval.
 evaluate_change_predictor` drives it unchanged.
 """
@@ -24,6 +24,7 @@ from repro.errors import ConfigurationError
 from repro.prediction.change_base import ChangePrediction, ChangePredictorBase
 from repro.prediction.counters import SaturatingCounter
 from repro.prediction.markov import MarkovChangePredictor
+from repro.prediction.protocol import PhaseObservation, _deprecated_observe
 from repro.prediction.rle import RLEChangePredictor
 
 
@@ -59,13 +60,24 @@ class TournamentChangePredictor:
 
     # -- history -------------------------------------------------------------
 
-    def observe(self, phase_id: int) -> Optional[Tuple[int, int]]:
+    def advance(self, phase_id: int) -> PhaseObservation:
         """Advance both components; their run histories stay in step."""
-        completed = self.first.observe(phase_id)
-        completed_second = self.second.observe(phase_id)
+        observation = self.first.advance(phase_id)
+        observation_second = self.second.advance(phase_id)
         # Both components see the same stream, so completions agree.
-        assert (completed is None) == (completed_second is None)
-        return completed
+        assert observation.phase_changed == observation_second.phase_changed
+        return observation
+
+    def observe(self, phase_id: int) -> Optional[Tuple[int, int]]:
+        """Deprecated legacy spelling of :meth:`advance`."""
+        _deprecated_observe(type(self).__name__)
+        return self.advance(phase_id).completed_run
+
+    def reset(self) -> None:
+        """Forget both components' state and recentre the selector."""
+        self.first.reset()
+        self.second.reset()
+        self.meta.reset(self._meta_threshold)
 
     def change_key(self) -> Optional[Hashable]:
         """A composite key; training decomposes to the components."""

@@ -115,6 +115,12 @@ class PhaseService:
         Journal durability mode (``none`` / ``batch`` / ``always``);
         see :mod:`repro.persistence.journal`. Only meaningful with a
         ``data_dir``.
+    pool_slots:
+        When set, back default-configured sessions with a shared
+        :class:`~repro.core.pool.TrackerPool` of this initial capacity
+        (the structure-of-arrays fast path; the pool grows on demand).
+        Sessions opened with non-default configuration overrides fall
+        back to scalar trackers transparently.
     """
 
     def __init__(
@@ -133,6 +139,7 @@ class PhaseService:
         data_dir: Optional[str] = None,
         checkpoint_interval: float = 30.0,
         sync: str = "batch",
+        pool_slots: Optional[int] = None,
     ) -> None:
         if max_connections <= 0:
             raise ConfigurationError(
@@ -153,11 +160,24 @@ class PhaseService:
         self.queue_size = queue_size
         self.sweep_interval = sweep_interval
         self.drain_timeout = drain_timeout
+        pool = None
+        if pool_slots is not None:
+            if pool_slots <= 0:
+                raise ConfigurationError(
+                    f"pool_slots must be positive, got {pool_slots}"
+                )
+            # Imported lazily: the service protocol surface should not
+            # pay the numpy pool import unless the fast path is on.
+            from repro.core.pool import TrackerPool
+            from repro.service.session import build_config
+
+            pool = TrackerPool(capacity=pool_slots, config=build_config(None))
         self.registry = SessionRegistry(
             max_sessions=max_sessions,
             idle_ttl=idle_ttl,
             evict_lru=evict_lru,
             telemetry=telemetry,
+            pool=pool,
         )
         self.checkpoint_interval = checkpoint_interval
         self._persistence = None

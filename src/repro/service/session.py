@@ -39,8 +39,10 @@ from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
 from repro.core.config import ClassifierConfig
 from repro.core.online import PhaseTracker
+from repro.core.pool import PooledTracker
 from repro.errors import (
     ConfigurationError,
+    PoolError,
     ServiceOverloadedError,
     SessionExistsError,
     SessionNotFoundError,
@@ -49,6 +51,7 @@ from repro.service.snapshot import restore_tracker
 from repro.workloads.trace import DEFAULT_INTERVAL_INSTRUCTIONS
 
 if TYPE_CHECKING:  # pragma: no cover - import-time typing only
+    from repro.core.pool import TrackerPool
     from repro.telemetry import Telemetry
 
 
@@ -128,6 +131,12 @@ class SessionRegistry:
         Predicate ``(name) -> bool`` marking names that are taken even
         though not live (evicted-to-disk sessions); :meth:`open`
         refuses them and auto-naming skips them.
+    pool:
+        Optional :class:`~repro.core.pool.TrackerPool`. Sessions whose
+        configuration matches the pool's live on pool slots (the
+        batched structure-of-arrays hot path) instead of owning scalar
+        trackers; incompatible configurations and pool exhaustion fall
+        back to scalar trackers transparently.
     """
 
     def __init__(
@@ -140,6 +149,7 @@ class SessionRegistry:
         on_evict: "Optional[Callable[[Session, str], None]]" = None,
         resolver: "Optional[Callable[[str], Optional[Session]]]" = None,
         name_reserved: Optional[Callable[[str], bool]] = None,
+        pool: "Optional[TrackerPool]" = None,
     ) -> None:
         if max_sessions <= 0:
             raise ConfigurationError(
@@ -156,6 +166,7 @@ class SessionRegistry:
         self.on_evict = on_evict
         self.resolver = resolver
         self.name_reserved = name_reserved
+        self.pool = pool
         # Most recently active last; OrderedDict gives O(1) LRU updates.
         self._sessions: "OrderedDict[str, Session]" = OrderedDict()
         self._free_trackers: List[PhaseTracker] = []
@@ -232,7 +243,7 @@ class SessionRegistry:
         self._make_room()
 
         if snapshot is not None:
-            tracker = restore_tracker(snapshot)
+            tracker = restore_tracker(snapshot, pool=self.pool)
         else:
             tracker = self._checkout_tracker(
                 build_config(config),
@@ -297,8 +308,10 @@ class SessionRegistry:
         if session is None:
             raise SessionNotFoundError(f"session {name!r} does not exist")
         self.sessions_closed += 1
-        self._recycle(session)
+        # Emit while the tracker is still live: recycling releases a
+        # pooled tracker's slot, after which its stats are unreadable.
         self._emit("session_closed", session)
+        self._recycle(session)
         return session
 
     def close_all(self) -> int:
@@ -323,11 +336,11 @@ class SessionRegistry:
             session = self._sessions.pop(name)
             self.sessions_expired += 1
             saved = self._pre_drop(session, "expired")
-            self._recycle(session)
             self._emit(
                 "session_expired", session, saved=saved,
                 idle_seconds=round(session.idle_seconds(now), 3),
             )
+            self._recycle(session)
         return expired
 
     # -- internals ------------------------------------------------------------
@@ -356,8 +369,8 @@ class SessionRegistry:
         name, session = self._sessions.popitem(last=False)
         self.sessions_evicted += 1
         saved = self._pre_drop(session, "evicted")
-        self._recycle(session)
         self._emit("session_evicted", session, saved=saved)
+        self._recycle(session)
 
     def _pre_drop(self, session: Session, reason: str) -> bool:
         """Run the ``on_evict`` hook and bucket the drop as saved /
@@ -421,8 +434,17 @@ class SessionRegistry:
     def _checkout_tracker(
         self, config: ClassifierConfig, interval_instructions: int
     ) -> PhaseTracker:
-        """Reuse a pooled tracker when its construction-time shape
-        matches; otherwise build a fresh one."""
+        """Claim a pool slot when the configuration matches; otherwise
+        reuse a freed scalar tracker of the right shape, else build."""
+        if self.pool is not None and self.pool.compatible(config):
+            try:
+                return self.pool.acquire(
+                    interval_instructions=interval_instructions
+                )
+            except PoolError:
+                # Full pool with growth disabled: soft signal, the
+                # scalar path below carries the session instead.
+                pass
         for index, tracker in enumerate(self._free_trackers):
             if tracker.classifier.config == config:
                 del self._free_trackers[index]
@@ -434,6 +456,15 @@ class SessionRegistry:
         )
 
     def _recycle(self, session: Session) -> None:
+        tracker = session.tracker
+        if isinstance(tracker, PooledTracker):
+            # Pool slots go back to the pool — never into the scalar
+            # free list (their state lives in the pool's arrays).
+            try:
+                tracker.release()
+            except PoolError:  # pragma: no cover - already released
+                pass
+            return
         # Cap the pool at the session cap; beyond that, drop trackers.
         if session.recyclable and (
             len(self._free_trackers) < self.max_sessions

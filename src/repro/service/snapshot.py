@@ -35,24 +35,33 @@ from repro.errors import (
     SnapshotError,
     SnapshotSchemaError,
 )
-from repro.prediction.markov import MarkovChangePredictor
-from repro.prediction.rle import RLEChangePredictor
+from repro.prediction import CHANGE_PREDICTOR_KINDS
 
 if TYPE_CHECKING:  # pragma: no cover - import-time typing only
+    from repro.core.pool import TrackerPool
     from repro.telemetry import Telemetry
 
 #: Snapshot document revision; bumped on incompatible state changes.
 SNAPSHOT_VERSION = 1
 
-#: Change-predictor type tags -> classes (``snapshot_kind`` attributes).
-CHANGE_PREDICTOR_KINDS = {
-    RLEChangePredictor.snapshot_kind: RLEChangePredictor,
-    MarkovChangePredictor.snapshot_kind: MarkovChangePredictor,
-}
+__all__ = [
+    "CHANGE_PREDICTOR_KINDS",
+    "SNAPSHOT_VERSION",
+    "check_schema_version",
+    "dumps",
+    "loads",
+    "restore_tracker",
+    "snapshot_tracker",
+]
 
 
-def snapshot_tracker(tracker: PhaseTracker) -> dict:
-    """Export ``tracker`` into a versioned, JSON-safe document."""
+def snapshot_tracker(tracker) -> dict:
+    """Export a tracker into a versioned, JSON-safe document.
+
+    Accepts anything with the :class:`PhaseTracker` ``export_state``
+    hook — including :class:`~repro.core.pool.PooledTracker` slots,
+    whose exported state is byte-identical to the scalar tracker's.
+    """
     document = {
         "schema_version": SNAPSHOT_VERSION,
         "tracker": tracker.export_state(),
@@ -77,7 +86,9 @@ def check_schema_version(document: dict) -> int:
 
 
 def restore_tracker(
-    document: dict, telemetry: "Optional[Telemetry]" = None
+    document: dict,
+    telemetry: "Optional[Telemetry]" = None,
+    pool: "Optional[TrackerPool]" = None,
 ) -> PhaseTracker:
     """Rebuild a tracker from a :func:`snapshot_tracker` document.
 
@@ -85,6 +96,12 @@ def restore_tracker(
     stopped (mid-interval accumulator contents included). Listeners
     are not part of a snapshot; ``telemetry`` attaches a hub to the
     restored tracker.
+
+    When ``pool`` is given and no telemetry is requested, the state is
+    adopted into a pool slot first — the restored tracker is then a
+    :class:`~repro.core.pool.PooledTracker` riding the batched hot
+    path. A pool that cannot host the snapshot (configuration
+    mismatch) is a soft signal: the scalar path below is used instead.
 
     Raises :class:`~repro.errors.SnapshotError` on a malformed
     document and :class:`~repro.errors.SnapshotSchemaError` (a
@@ -96,6 +113,16 @@ def restore_tracker(
     state = document.get("tracker")
     if not isinstance(state, dict):
         raise SnapshotError("snapshot lacks the 'tracker' state object")
+
+    if pool is not None and telemetry is None:
+        try:
+            adopted = pool.try_adopt(state)
+        except (KeyError, IndexError, TypeError, ValueError, ReproError) as error:
+            raise SnapshotError(
+                f"snapshot state is malformed: {error}"
+            ) from None
+        if adopted is not None:
+            return adopted
 
     try:
         config = ClassifierConfig(**state["classifier"]["config"])

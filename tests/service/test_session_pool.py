@@ -1,0 +1,122 @@
+"""Registry sessions on pool slots: checkout, fallback, recycling, and
+snapshot restore through a shared TrackerPool."""
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.core import ClassifierConfig, TrackerPool
+from repro.core.pool import PooledTracker
+from repro.service.session import SessionRegistry
+from repro.service.snapshot import snapshot_tracker
+
+
+@pytest.fixture
+def pool():
+    return TrackerPool(capacity=2, config=ClassifierConfig.paper_default())
+
+
+def test_default_config_session_lands_on_pool_slot(pool):
+    registry = SessionRegistry(pool=pool)
+    session = registry.open("a")
+    assert isinstance(session.tracker, PooledTracker)
+    assert pool.active_slots == 1
+
+
+def test_foreign_config_falls_back_to_scalar(pool):
+    registry = SessionRegistry(pool=pool)
+    session = registry.open(
+        "a", config=asdict(ClassifierConfig.paper_baseline())
+    )
+    assert not isinstance(session.tracker, PooledTracker)
+    assert pool.active_slots == 0
+
+
+def test_pool_exhaustion_falls_back_to_scalar():
+    pool = TrackerPool(
+        capacity=1,
+        config=ClassifierConfig.paper_default(),
+        auto_grow=False,
+    )
+    registry = SessionRegistry(pool=pool)
+    first = registry.open("a")
+    second = registry.open("b")
+    assert isinstance(first.tracker, PooledTracker)
+    assert not isinstance(second.tracker, PooledTracker)
+
+
+def test_close_releases_the_slot(pool):
+    registry = SessionRegistry(pool=pool)
+    registry.open("a")
+    assert pool.active_slots == 1
+    registry.close("a")
+    assert pool.active_slots == 0
+    # The freed slot is reused by the next open.
+    registry.open("b")
+    assert pool.active_slots == 1
+
+
+def test_lru_eviction_releases_the_slot(pool):
+    registry = SessionRegistry(max_sessions=1, pool=pool)
+    registry.open("a")
+    registry.open("b")  # evicts "a"
+    assert pool.active_slots == 1
+
+
+def test_snapshot_restore_adopts_into_pool(pool):
+    registry = SessionRegistry(pool=pool)
+    source = registry.open("a")
+    source.tracker.observe_batch([0x400, 0x404], [40, 60], cpi=1.1)
+    document = snapshot_tracker(source.tracker)
+    restored = registry.open("b", snapshot=document)
+    assert isinstance(restored.tracker, PooledTracker)
+    assert snapshot_tracker(restored.tracker) == document
+
+
+def test_snapshot_restore_foreign_config_falls_back(pool):
+    from repro.core import PhaseTracker
+
+    registry = SessionRegistry(pool=pool)
+    scalar = PhaseTracker(ClassifierConfig.paper_baseline())
+    restored = registry.open("a", snapshot=snapshot_tracker(scalar))
+    assert not isinstance(restored.tracker, PooledTracker)
+    assert pool.active_slots == 0
+
+
+def test_pool_sessions_are_not_scalar_recycled(pool):
+    registry = SessionRegistry(pool=pool)
+    registry.open("a")
+    registry.close("a")
+    assert registry._free_trackers == []
+
+
+def test_telemetry_emits_survive_pooled_recycle(pool):
+    """close/expire/evict emit session events that read tracker stats;
+    with pooled trackers the read must happen before the slot is
+    released (a stale handle raises)."""
+    from repro.telemetry import Telemetry
+
+    clock = [0.0]
+    registry = SessionRegistry(
+        max_sessions=1, idle_ttl=10.0, clock=lambda: clock[0],
+        telemetry=Telemetry(), pool=pool,
+    )
+    registry.open("a")
+    registry.close("a")              # close path
+    registry.open("b")
+    clock[0] += 60.0
+    assert registry.expire_idle() == ["b"]  # expire path
+    registry.open("c")
+    registry.open("d")               # evict path (max_sessions=1)
+    assert pool.active_slots == 1
+
+
+def test_pooled_service_construction():
+    """PhaseService(pool_slots=...) wires a pool into its registry."""
+    from repro.service.server import PhaseService
+
+    service = PhaseService(pool_slots=8)
+    assert service.registry.pool is not None
+    assert service.registry.pool.capacity == 8
+    session = service.registry.open("a")
+    assert isinstance(session.tracker, PooledTracker)

@@ -1,0 +1,30 @@
+"""The repro.api stable facade: the promised names, nothing missing."""
+
+import repro.api as api
+
+
+def test_all_names_resolve():
+    for name in api.__all__:
+        assert getattr(api, name) is not None
+
+
+def test_facade_exports_the_promised_surface():
+    assert set(api.__all__) == {
+        "ClassifierConfig",
+        "PhaseServiceClient",
+        "PhaseTracker",
+        "TrackerPool",
+        "TrackerReport",
+    }
+
+
+def test_facade_names_are_the_canonical_classes():
+    from repro.core import ClassifierConfig, PhaseTracker, TrackerPool
+    from repro.core.online import TrackerReport
+    from repro.service.client import PhaseServiceClient
+
+    assert api.ClassifierConfig is ClassifierConfig
+    assert api.PhaseTracker is PhaseTracker
+    assert api.TrackerPool is TrackerPool
+    assert api.TrackerReport is TrackerReport
+    assert api.PhaseServiceClient is PhaseServiceClient
