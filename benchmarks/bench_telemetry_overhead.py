@@ -98,3 +98,36 @@ def test_cache_counters_via_isolated_fixture(isolated_caches):
     metrics = isolated_caches.metrics
     assert metrics.get("repro_harness_trace_cache_misses_total").value == 1
     assert metrics.get("repro_harness_trace_cache_hits_total").value == 1
+
+
+def main():
+    bare = _best_seconds(lambda: None)
+    instrumented = _best_seconds(Telemetry)
+    with_events = _best_seconds(
+        lambda: Telemetry(events=EventLog(stream=io.StringIO()))
+    )
+    line = (
+        f"| {BRANCHES / bare / 1e6:>6.2f} | "
+        f"{BRANCHES / instrumented / 1e6:>6.2f} | "
+        f"{instrumented / bare:>5.3f} | "
+        f"{BRANCHES / with_events / 1e6:>6.2f} | "
+        f"{with_events / bare:>5.3f} |"
+    )
+    print(line)
+
+    from pathlib import Path
+
+    trajectory = Path(__file__).parent / "TRAJECTORY.md"
+    with trajectory.open("a") as out:
+        out.write(
+            "\n## bench_telemetry_overhead (Mbranches/s, best of "
+            f"{REPEATS})\n\n"
+            "| bare | instrumented | ratio | +events | ratio |\n"
+            "|---|---|---|---|---|\n"
+        )
+        out.write(line + "\n")
+    print(f"appended to {trajectory}")
+
+
+if __name__ == "__main__":
+    main()

@@ -28,15 +28,23 @@ The surface, by role:
   tracker flavours emit (``to_dict`` is the wire format).
 - :class:`PhaseServiceClient` — the blocking client for the phase
   service's length-prefixed JSON protocol.
+- :class:`HttpGateway` — the HTTP operations surface (health probes,
+  Prometheus ``/metrics``, JSON session API, SSE events, dashboard)
+  that :class:`~repro.service.server.PhaseService` runs when given an
+  ``http_port``. The route set and JSON shapes are covered by the
+  promise; the internal HTTP plumbing under :mod:`repro.obs.http` is
+  not.
 """
 
 from repro.core.config import ClassifierConfig
 from repro.core.online import PhaseTracker, TrackerReport
 from repro.core.pool import TrackerPool
+from repro.obs import HttpGateway
 from repro.service.client import PhaseServiceClient
 
 __all__ = [
     "ClassifierConfig",
+    "HttpGateway",
     "PhaseServiceClient",
     "PhaseTracker",
     "TrackerPool",

@@ -539,6 +539,12 @@ class TrackerPool:
         :class:`~repro.errors.PoolError`).
     config:
         The shared classifier configuration (finite table required).
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` hub. When given,
+        the pool keeps slot-occupancy/capacity gauges, lifecycle
+        counters (acquire/release/adopt/grow) and a boundary-round
+        batch-size histogram current. All instrumentation sits on the
+        slot-lifecycle and boundary paths — never per branch.
     """
 
     def __init__(
@@ -547,10 +553,13 @@ class TrackerPool:
         config: Optional[ClassifierConfig] = None,
         *,
         auto_grow: bool = True,
+        telemetry=None,
     ) -> None:
         self.classifiers = ClassifierPool(capacity, config)
         self.config = self.classifiers.config
         self.auto_grow = auto_grow
+        self.telemetry = telemetry
+        self._instrument(telemetry)
         capacity = self.classifiers.capacity
         self._interval_instructions = np.full(
             capacity, DEFAULT_INTERVAL_INSTRUCTIONS, dtype=np.int64
@@ -572,6 +581,50 @@ class TrackerPool:
             [[] for _ in range(capacity)]
         )
         self._free: List[int] = list(range(capacity - 1, -1, -1))
+        if self._m_capacity is not None:
+            self._m_capacity.set(capacity)
+
+    # -- instrumentation ------------------------------------------------------
+
+    def _instrument(self, telemetry) -> None:
+        """Bind pool metrics on the hub (or None them all out)."""
+        if telemetry is None:
+            self._m_capacity = None
+            self._m_active = None
+            self._m_acquires = None
+            self._m_releases = None
+            self._m_adoptions = None
+            self._m_grows = None
+            self._m_batch = None
+            return
+        self._m_capacity = telemetry.gauge(
+            "repro_pool_capacity", help="Total tracker pool slots."
+        )
+        self._m_active = telemetry.gauge(
+            "repro_pool_active_slots",
+            help="Tracker pool slots currently allocated.",
+        )
+        self._m_acquires = telemetry.counter(
+            "repro_pool_acquires_total",
+            help="Slots handed out by allocate()/acquire().",
+        )
+        self._m_releases = telemetry.counter(
+            "repro_pool_releases_total",
+            help="Slots returned to the free list.",
+        )
+        self._m_adoptions = telemetry.counter(
+            "repro_pool_adoptions_total",
+            help="Snapshots adopted into pool slots via try_adopt().",
+        )
+        self._m_grows = telemetry.counter(
+            "repro_pool_grows_total",
+            help="Capacity-doubling growth events.",
+        )
+        self._m_batch = telemetry.histogram(
+            "repro_pool_boundary_batch_size",
+            help="Slots classified per batched boundary round.",
+            start=1.0, factor=2.0, count=16,
+        )
 
     # -- slot lifecycle -------------------------------------------------------
 
@@ -606,6 +659,9 @@ class TrackerPool:
         self._length.extend([None] * old_capacity)
         self._listeners.extend([] for _ in range(old_capacity))
         self._free.extend(range(new_capacity - 1, old_capacity - 1, -1))
+        if self._m_grows is not None:
+            self._m_grows.inc()
+            self._m_capacity.set(new_capacity)
 
     def allocate(
         self,
@@ -644,6 +700,9 @@ class TrackerPool:
         self._branches[slot] = 0
         self.classifiers.reset_slots(np.array([slot]))
         self._allocated[slot] = True
+        if self._m_acquires is not None:
+            self._m_acquires.inc()
+            self._m_active.set(self.active_slots)
         return slot
 
     def acquire(
@@ -664,6 +723,9 @@ class TrackerPool:
         self._length[slot] = None
         self._listeners[slot] = []
         self._free.append(slot)
+        if self._m_releases is not None:
+            self._m_releases.inc()
+            self._m_active.set(self.active_slots)
 
     def _check_slot(self, slot: int) -> None:
         if not 0 <= slot < self.capacity or not self._allocated[slot]:
@@ -847,6 +909,8 @@ class TrackerPool:
     ) -> List[TrackerReport]:
         """Classify the slots' pending intervals in one batched pass and
         run the per-slot (boundary-rate) predictor updates."""
+        if self._m_batch is not None:
+            self._m_batch.observe(len(slots))
         verdict = self.classifiers.classify(slots, cpis)
         reports: List[TrackerReport] = []
         for row, slot in enumerate(int(s) for s in slots):
@@ -995,6 +1059,8 @@ class TrackerPool:
         except Exception:
             self.release(slot)
             raise
+        if self._m_adoptions is not None:
+            self._m_adoptions.inc()
         return PooledTracker(self, slot)
 
     # -- inspection -----------------------------------------------------------

@@ -340,6 +340,17 @@ def _serve_main(argv: List[str]) -> int:
         "'always' fsyncs every record (needs --data-dir)",
     )
     parser.add_argument(
+        "--http-port", type=int, default=None, metavar="PORT",
+        help="also run the HTTP operations gateway on PORT (0 picks a "
+        "free one): /healthz, /readyz, /metrics (Prometheus), a JSON "
+        "session API, /v1/events (SSE), and the live dashboard at / "
+        "(default: no gateway)",
+    )
+    parser.add_argument(
+        "--http-host", default=None, metavar="HOST",
+        help="bind address for the HTTP gateway (default: --host)",
+    )
+    parser.add_argument(
         "--metrics", metavar="PATH", default=None,
         help="write a telemetry metrics snapshot to PATH at exit",
     )
@@ -375,6 +386,8 @@ def _serve_main(argv: List[str]) -> int:
         data_dir=args.data_dir,
         checkpoint_interval=args.checkpoint_interval,
         sync=args.sync,
+        http_host=args.http_host,
+        http_port=args.http_port,
     )
     if service.persistence is not None:
         print(
@@ -404,6 +417,13 @@ def _serve_main(argv: List[str]) -> int:
             f"Ctrl-C to drain and exit",
             flush=True,
         )
+        if service.http_port is not None:
+            print(
+                f"http gateway on "
+                f"http://{service.http_host}:{service.http_port}/ "
+                f"(dashboard; /metrics for Prometheus)",
+                flush=True,
+            )
         await service.serve_forever()
 
     try:

@@ -1,0 +1,34 @@
+"""repro.obs — the HTTP operations gateway and live dashboard.
+
+The NDJSON-TCP protocol (:mod:`repro.service`) is the ingest plane;
+this package is the *operations* plane: health and readiness probes, a
+Prometheus ``/metrics`` scrape target, a JSON session API that executes
+through the same code path as the TCP protocol (byte-identical interval
+reports), a live Server-Sent-Events feed off the telemetry hub, and a
+zero-dependency dashboard served at ``/``.
+
+Run it with ``repro-phases serve --http-port 8080`` or construct a
+:class:`~repro.service.server.PhaseService` with ``http_port=...``.
+Stdlib only, like everything else in the repo.
+"""
+
+from repro.obs.gateway import ERROR_STATUS, HttpGateway
+from repro.obs.http import (
+    HttpError,
+    HttpRequest,
+    HttpResponse,
+    HttpServer,
+    StreamingResponse,
+    route_pattern_match,
+)
+
+__all__ = [
+    "ERROR_STATUS",
+    "HttpError",
+    "HttpGateway",
+    "HttpRequest",
+    "HttpResponse",
+    "HttpServer",
+    "StreamingResponse",
+    "route_pattern_match",
+]

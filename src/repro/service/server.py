@@ -121,6 +121,14 @@ class PhaseService:
         (the structure-of-arrays fast path; the pool grows on demand).
         Sessions opened with non-default configuration overrides fall
         back to scalar trackers transparently.
+    http_host, http_port:
+        When ``http_port`` is given (0 picks a free port), run the
+        :class:`~repro.obs.HttpGateway` alongside the NDJSON listener:
+        health/readiness probes, a Prometheus ``/metrics`` scrape
+        target, a JSON session API, live SSE events, and the built-in
+        dashboard at ``/``. ``http_host`` defaults to ``host``. A
+        service with a gateway but no ``telemetry`` gets an in-memory
+        hub automatically so the scrape surface is never empty.
     """
 
     def __init__(
@@ -140,6 +148,8 @@ class PhaseService:
         checkpoint_interval: float = 30.0,
         sync: str = "batch",
         pool_slots: Optional[int] = None,
+        http_host: Optional[str] = None,
+        http_port: Optional[int] = None,
     ) -> None:
         if max_connections <= 0:
             raise ConfigurationError(
@@ -154,8 +164,21 @@ class PhaseService:
                 f"checkpoint_interval must be positive, "
                 f"got {checkpoint_interval}"
             )
+        if http_port is not None and http_port < 0:
+            raise ConfigurationError(
+                f"http_port must be >= 0, got {http_port}"
+            )
+        if http_port is not None and telemetry is None:
+            # The gateway exists to expose telemetry; an operator who
+            # asks for the HTTP surface gets an in-memory hub for free.
+            from repro.telemetry import Telemetry as _Telemetry
+
+            telemetry = _Telemetry()
         self.host = host
         self.port = port
+        self.http_host = http_host if http_host is not None else host
+        self.http_port = http_port
+        self._gateway = None
         self.max_connections = max_connections
         self.queue_size = queue_size
         self.sweep_interval = sweep_interval
@@ -171,7 +194,10 @@ class PhaseService:
             from repro.core.pool import TrackerPool
             from repro.service.session import build_config
 
-            pool = TrackerPool(capacity=pool_slots, config=build_config(None))
+            pool = TrackerPool(
+                capacity=pool_slots, config=build_config(None),
+                telemetry=telemetry,
+            )
         self.registry = SessionRegistry(
             max_sessions=max_sessions,
             idle_ttl=idle_ttl,
@@ -197,14 +223,53 @@ class PhaseService:
         self.errors_returned = 0
         self.connections_refused = 0
         self.checkpoint_failures = 0
+        self.predictions_scored = 0
+        self.predictions_correct = 0
+        self.confident_scored = 0
+        self.confident_correct = 0
+        self.started_at = time.time()
+        self._started_mono = time.monotonic()
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: Dict[int, _Connection] = {}
         self._draining = False
         self._stopped: Optional[asyncio.Event] = None
         self._sweeper: Optional["asyncio.Task"] = None
         self._checkpointer: Optional["asyncio.Task"] = None
+        self._drain_task: Optional["asyncio.Task"] = None
         self._telemetry = telemetry
         if telemetry is not None:
+            from repro import __version__ as _version
+            import os as _os
+
+            telemetry.gauge(
+                "repro_service_info",
+                "Constant 1; process identity in the labels.",
+                labels={
+                    "version": _version,
+                    "pid": _os.getpid(),
+                    "started": int(self.started_at),
+                },
+            ).set(1)
+            self._g_uptime = telemetry.gauge(
+                "repro_service_uptime_seconds",
+                "Seconds since service construction (updated on scrape).",
+            )
+            self._m_pred_scored = telemetry.counter(
+                "repro_service_predictions_total",
+                "Next-phase predictions scored against the next interval",
+            )
+            self._m_pred_correct = telemetry.counter(
+                "repro_service_predictions_correct_total",
+                "Scored next-phase predictions that matched",
+            )
+            self._m_pred_confident = telemetry.counter(
+                "repro_service_predictions_confident_total",
+                "Scored predictions the predictor marked confident",
+            )
+            self._m_pred_confident_correct = telemetry.counter(
+                "repro_service_predictions_confident_correct_total",
+                "Confident scored predictions that matched",
+            )
             self._m_requests = telemetry.counter(
                 "repro_service_requests_total",
                 "Requests executed by the service (including refusals)",
@@ -260,12 +325,23 @@ class PhaseService:
             self._checkpointer = asyncio.ensure_future(
                 self._checkpoint_loop()
             )
+        if self.http_port is not None:
+            # Imported lazily: the NDJSON service must not pay for the
+            # HTTP gateway unless it was asked for.
+            from repro.obs import HttpGateway
+
+            self._gateway = HttpGateway(
+                self, host=self.http_host, port=self.http_port
+            )
+            await self._gateway.start()
+            self.http_port = self._gateway.port
         if self._telemetry is not None:
             self._telemetry.emit(
                 "service_start", host=self.host, port=self.port,
                 max_sessions=self.registry.max_sessions,
                 recovered=self.sessions_recovered,
                 durable=self._persistence is not None,
+                http_port=self.http_port,
             )
 
     @property
@@ -277,6 +353,56 @@ class PhaseService:
         """The :class:`~repro.persistence.manager.PersistenceManager`
         backing this service, or ``None`` when RAM-only."""
         return self._persistence
+
+    @property
+    def telemetry(self) -> "Optional[Telemetry]":
+        return self._telemetry
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def gateway(self):
+        """The running :class:`~repro.obs.HttpGateway`, or ``None``."""
+        return self._gateway
+
+    @property
+    def uptime_seconds(self) -> float:
+        return time.monotonic() - self._started_mono
+
+    def touch_uptime(self) -> float:
+        """Refresh the uptime gauge (called on scrape) and return it."""
+        uptime = self.uptime_seconds
+        if self._telemetry is not None:
+            self._g_uptime.set(uptime)
+        return uptime
+
+    def ingest_queue_depth(self) -> int:
+        """Requests currently buffered across all connection queues —
+        the live backpressure signal."""
+        return sum(
+            connection.queue.qsize()
+            for connection in self._connections.values()
+        )
+
+    def begin_drain(self, grace: float = 0.5) -> None:
+        """Flip to draining *now* and schedule the real shutdown.
+
+        ``/readyz`` (and ``ping``) report not-ready immediately; the
+        full :meth:`shutdown` runs after ``grace`` seconds so probes
+        and load balancers get a window to observe the transition
+        before sockets disappear. Idempotent while already draining.
+        """
+        if self._draining:
+            return
+        self._draining = True
+
+        async def _later() -> None:
+            await asyncio.sleep(grace)
+            await self.shutdown(drain=True)
+
+        self._drain_task = asyncio.ensure_future(_later())
 
     async def serve_forever(self) -> None:
         """Run until :meth:`shutdown` completes (from another task or a
@@ -297,6 +423,11 @@ class PhaseService:
         if self._server is None:
             return
         self._draining = True
+        drain_task = self._drain_task
+        if drain_task is not None and drain_task is not asyncio.current_task():
+            # A direct shutdown supersedes a scheduled begin_drain one.
+            self._drain_task = None
+            drain_task.cancel()
         server, self._server = self._server, None
         server.close()
         await server.wait_closed()
@@ -350,6 +481,12 @@ class PhaseService:
                 "service_stop", drained=drain, sessions_closed=closed,
                 requests=self.requests_served,
             )
+        if self._gateway is not None:
+            # The gateway goes down last so /healthz and /readyz stay
+            # observable for the whole drain — a load balancer sees the
+            # not-ready signal before the port disappears.
+            gateway, self._gateway = self._gateway, None
+            await gateway.shutdown()
         if self._stopped is not None:
             self._stopped.set()
 
@@ -539,6 +676,8 @@ class PhaseService:
                 requests=self.requests_served,
                 errors=self.errors_returned,
                 connections=len(self._connections),
+                uptime_seconds=self.touch_uptime(),
+                predictions=self.prediction_accuracy(),
             )
             if self._persistence is not None:
                 stats["persistence"] = self._persistence.stats()
@@ -627,6 +766,17 @@ class PhaseService:
             self._m_intervals.inc(len(reports))
             if request.pcs:
                 self._h_ingest.observe(elapsed / len(request.pcs))
+        for report in reports:
+            self._score_prediction(session, report)
+        if self._telemetry is not None and reports:
+            # One event per boundary (not per branch); with neither a
+            # JSONL sink nor an SSE subscriber these are one-check
+            # no-ops inside the hub.
+            for report in reports:
+                self._telemetry.emit(
+                    "interval", session=session.name,
+                    **report.to_dict(),
+                )
         payloads = [
             protocol.interval_push(session.name, report.to_dict())
             for report in reports
@@ -636,6 +786,86 @@ class PhaseService:
             "branches": len(request.pcs),
         }))
         return payloads
+
+    def _score_prediction(self, session: Session, report) -> None:
+        """Score the session's outstanding next-phase prediction against
+        the interval that just closed, then remember the new one."""
+        predicted = session.predicted_next_phase
+        if predicted is not None:
+            correct = predicted == report.phase_id
+            self.predictions_scored += 1
+            self.predictions_correct += int(correct)
+            if session.prediction_confident:
+                self.confident_scored += 1
+                self.confident_correct += int(correct)
+            if self._telemetry is not None:
+                self._m_pred_scored.inc()
+                if correct:
+                    self._m_pred_correct.inc()
+                if session.prediction_confident:
+                    self._m_pred_confident.inc()
+                    if correct:
+                        self._m_pred_confident_correct.inc()
+        session.predicted_next_phase = report.predicted_next_phase
+        session.prediction_confident = report.prediction_confident
+
+    def prediction_accuracy(self) -> Dict[str, object]:
+        """Service-level next-phase predictor scoreboard."""
+        scored = self.predictions_scored
+        confident = self.confident_scored
+        return {
+            "scored": scored,
+            "correct": self.predictions_correct,
+            "accuracy": (
+                self.predictions_correct / scored if scored else None
+            ),
+            "confident_scored": confident,
+            "confident_correct": self.confident_correct,
+            "confident_accuracy": (
+                self.confident_correct / confident if confident else None
+            ),
+        }
+
+    def diagnostics(self) -> Dict[str, object]:
+        """The operational state the dashboard renders: per-phase
+        occupancy across live sessions, predictor accuracy, pool slot
+        utilization, ingest backpressure, and persistence stats."""
+        occupancy: Dict[str, int] = {}
+        for session in self.registry.sessions():
+            phase = session.tracker.current_phase
+            key = "none" if phase is None else str(phase)
+            occupancy[key] = occupancy.get(key, 0) + 1
+        pool = self.registry.pool
+        diagnostics: Dict[str, object] = {
+            "uptime_seconds": self.touch_uptime(),
+            "draining": self._draining,
+            "requests": self.requests_served,
+            "errors": self.errors_returned,
+            "connections": len(self._connections),
+            "connections_refused": self.connections_refused,
+            "ingest_queue_depth": self.ingest_queue_depth(),
+            "phase_occupancy": occupancy,
+            "prediction": self.prediction_accuracy(),
+            "registry": dict(self.registry.stats()),
+            "pool": (
+                {
+                    "capacity": pool.capacity,
+                    "active_slots": pool.active_slots,
+                    "utilization": (
+                        pool.active_slots / pool.capacity
+                        if pool.capacity else None
+                    ),
+                }
+                if pool is not None else None
+            ),
+            "persistence": (
+                self._persistence.stats()
+                if self._persistence is not None else None
+            ),
+        }
+        if self._persistence is not None:
+            diagnostics["checkpoint_failures"] = self.checkpoint_failures
+        return diagnostics
 
 
 def _best_effort_id(line: bytes) -> Optional[int]:

@@ -61,6 +61,7 @@ class Session:
     __slots__ = (
         "name", "tracker", "created_at", "last_active",
         "intervals_pushed", "branches_ingested", "recyclable",
+        "predicted_next_phase", "prediction_confident",
     )
 
     def __init__(
@@ -76,6 +77,12 @@ class Session:
         # Restored trackers may carry a non-default predictor setup, so
         # they never enter the homogeneous free pool.
         self.recyclable = recyclable
+        # The last outstanding next-phase prediction this session pushed
+        # to its client; the server scores it against the next interval's
+        # actual phase (service-level predictor accuracy, uniform across
+        # scalar and pooled trackers).
+        self.predicted_next_phase: Optional[int] = None
+        self.prediction_confident = False
 
     def idle_seconds(self, now: float) -> float:
         return now - self.last_active

@@ -32,18 +32,22 @@ from repro.telemetry.export import (
     exporter_for,
     parse_prometheus_text,
 )
-from repro.telemetry.hub import Telemetry
+from repro.telemetry.hub import EventSubscription, Telemetry
 from repro.telemetry.metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    escape_label_value,
+    render_labels,
+    validate_labels,
 )
 from repro.telemetry.tracing import Span, SpanStats, Tracer
 
 __all__ = [
     "Counter",
     "EventLog",
+    "EventSubscription",
     "Exporter",
     "Gauge",
     "Histogram",
@@ -54,7 +58,10 @@ __all__ = [
     "SpanStats",
     "Telemetry",
     "Tracer",
+    "escape_label_value",
     "exporter_for",
     "parse_prometheus_text",
     "read_events",
+    "render_labels",
+    "validate_labels",
 ]

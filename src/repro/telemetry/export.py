@@ -24,7 +24,7 @@ from abc import ABC, abstractmethod
 from typing import Dict, List, Optional
 
 from repro.errors import TelemetryError
-from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.metrics import MetricsRegistry, render_labels
 
 
 class Exporter(ABC):
@@ -61,25 +61,35 @@ class PrometheusExporter(Exporter):
 
     def render(self, registry: MetricsRegistry) -> str:
         lines: List[str] = []
+        announced: set = set()
         for snap in registry.snapshot():
             name = snap["name"]
-            if snap["help"]:
-                lines.append(f"# HELP {name} {snap['help']}")
-            lines.append(f"# TYPE {name} {snap['type']}")
+            if name not in announced:
+                announced.add(name)
+                if snap["help"]:
+                    lines.append(f"# HELP {name} {snap['help']}")
+                lines.append(f"# TYPE {name} {snap['type']}")
+            labels = snap.get("labels") or {}
+            suffix = render_labels(labels)
             if snap["type"] in ("counter", "gauge"):
-                lines.append(f"{name} {_format_value(snap['value'])}")
+                lines.append(
+                    f"{name}{suffix} {_format_value(snap['value'])}"
+                )
                 continue
-            # Histogram: cumulative buckets, then _sum and _count.
+            # Histogram: cumulative buckets, then _sum and _count. The
+            # le bucket label merges into any series labels.
             running = 0
             bounds = list(snap["bounds"]) + [math.inf]
             for bound, count in zip(bounds, snap["counts"]):
                 running += count
-                lines.append(
-                    f'{name}_bucket{{le="{_format_value(bound)}"}} '
-                    f"{running}"
+                bucket = render_labels(
+                    labels, extra=f'le="{_format_value(bound)}"'
                 )
-            lines.append(f"{name}_sum {_format_value(snap['sum'])}")
-            lines.append(f"{name}_count {snap['count']}")
+                lines.append(f"{name}_bucket{bucket} {running}")
+            lines.append(
+                f"{name}_sum{suffix} {_format_value(snap['sum'])}"
+            )
+            lines.append(f"{name}_count{suffix} {snap['count']}")
         return "\n".join(lines) + ("\n" if lines else "")
 
 

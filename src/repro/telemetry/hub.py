@@ -20,13 +20,74 @@ library embedding.
 
 from __future__ import annotations
 
+import threading
 import time
-from typing import Callable, Dict, Optional
+from collections import deque
+from typing import Callable, Dict, List, Mapping, Optional
 
 from repro.telemetry.events import EventLog
 from repro.telemetry.export import Exporter, exporter_for
 from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.telemetry.tracing import Span, Tracer
+
+
+class EventSubscription:
+    """A bounded live feed of the hub's event stream.
+
+    Each subscriber owns a ``deque(maxlen=...)``: when the consumer
+    falls behind, the *oldest* buffered records are silently replaced
+    and :attr:`dropped` counts how many were lost — emitters are never
+    blocked or slowed by a stuck reader. Thread-safe; designed for the
+    SSE bridge in :mod:`repro.obs` but usable anywhere.
+    """
+
+    __slots__ = ("_hub", "_queue", "_lock", "_dropped", "_closed")
+
+    def __init__(self, hub: "Telemetry", maxlen: int = 256) -> None:
+        if maxlen < 1:
+            raise ValueError(f"subscription maxlen must be >= 1, got {maxlen}")
+        self._hub = hub
+        self._queue: "deque" = deque(maxlen=maxlen)
+        self._lock = threading.Lock()
+        self._dropped = 0
+        self._closed = False
+
+    @property
+    def dropped(self) -> int:
+        """Records lost to overflow since the subscription opened."""
+        return self._dropped
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _publish(self, record: Dict[str, object]) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            if len(self._queue) == self._queue.maxlen:
+                self._dropped += 1
+            self._queue.append(record)
+
+    def drain(self) -> List[Dict[str, object]]:
+        """All buffered records, oldest first; empties the buffer."""
+        with self._lock:
+            records = list(self._queue)
+            self._queue.clear()
+        return records
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    def close(self) -> None:
+        """Detach from the hub and discard the buffer. Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        with self._lock:
+            self._queue.clear()
+        self._hub._unsubscribe(self)
 
 
 class Telemetry:
@@ -44,6 +105,9 @@ class Telemetry:
         self.events = events
         self.metrics_path = metrics_path
         self._closed = False
+        self._subscribers: List[EventSubscription] = []
+        self._sub_lock = threading.Lock()
+        self._seq = 0
 
     @classmethod
     def to_files(
@@ -67,11 +131,17 @@ class Telemetry:
 
     # -- metric shortcuts -------------------------------------------------
 
-    def counter(self, name: str, help: str = "") -> Counter:
-        return self.metrics.counter(name, help=help)
+    def counter(
+        self, name: str, help: str = "",
+        labels: Optional[Mapping[str, object]] = None,
+    ) -> Counter:
+        return self.metrics.counter(name, help=help, labels=labels)
 
-    def gauge(self, name: str, help: str = "") -> Gauge:
-        return self.metrics.gauge(name, help=help)
+    def gauge(
+        self, name: str, help: str = "",
+        labels: Optional[Mapping[str, object]] = None,
+    ) -> Gauge:
+        return self.metrics.gauge(name, help=help, labels=labels)
 
     def histogram(self, name: str, help: str = "", **kwargs) -> Histogram:
         return self.metrics.histogram(name, help=help, **kwargs)
@@ -82,10 +152,51 @@ class Telemetry:
         """A nested timing span (see :mod:`repro.telemetry.tracing`)."""
         return self.tracer.span(name)
 
+    def subscribe(self, maxlen: int = 256) -> EventSubscription:
+        """Open a live, bounded feed of every event this hub emits.
+
+        Works with or without a JSONL sink: an in-memory hub still fans
+        records out to subscribers. Call ``close()`` on the returned
+        subscription to detach.
+        """
+        subscription = EventSubscription(self, maxlen=maxlen)
+        with self._sub_lock:
+            self._subscribers.append(subscription)
+        return subscription
+
+    def _unsubscribe(self, subscription: EventSubscription) -> None:
+        with self._sub_lock:
+            try:
+                self._subscribers.remove(subscription)
+            except ValueError:
+                pass
+
     def emit(self, event: str, /, **fields: object) -> None:
-        """Emit a structured event; a no-op without an event sink."""
+        """Emit a structured event.
+
+        A no-op (one attribute check) when there is neither an event
+        sink nor any live subscriber, so unconditional ``emit`` calls
+        on hot paths stay cheap.
+        """
+        subscribers = self._subscribers
+        record: Optional[Dict[str, object]] = None
         if self.events is not None and not self.events.closed:
-            self.events.emit(event, **fields)
+            record = self.events.emit(event, **fields)
+        elif not subscribers:
+            return
+        if subscribers:
+            if record is None:
+                # Sinkless hub: build the same envelope the EventLog
+                # would have, with a hub-local sequence number.
+                with self._sub_lock:
+                    self._seq += 1
+                    seq = self._seq
+                record = {"event": event, "seq": seq, "ts": time.time()}
+                record.update(fields)
+            with self._sub_lock:
+                live = list(self._subscribers)
+            for subscription in live:
+                subscription._publish(record)
 
     # -- export -----------------------------------------------------------
 

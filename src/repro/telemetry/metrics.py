@@ -13,6 +13,13 @@ name share the instance) and produces the snapshots the exporters in
 
 Naming follows Prometheus conventions: ``[a-zA-Z_:][a-zA-Z0-9_:]*``,
 counters ending in ``_total``, durations in ``_seconds``.
+
+Metrics may carry **labels** (``labels={"route": "/metrics"}``): each
+distinct label set is its own series, registered and exported
+independently under the shared metric name. Label names follow the
+Prometheus label grammar; label values are arbitrary strings (the
+exporter escapes quotes, backslashes and newlines). Re-registering one
+name with different *kinds* is refused across all of its label sets.
 """
 
 from __future__ import annotations
@@ -20,11 +27,12 @@ from __future__ import annotations
 import re
 import threading
 from bisect import bisect_left
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import TelemetryError
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
 
 
 def validate_metric_name(name: str) -> str:
@@ -49,16 +57,67 @@ def sanitize_metric_name(raw: str) -> str:
     return cleaned
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus exposition format."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def validate_labels(
+    labels: Optional[Mapping[str, object]],
+) -> Dict[str, str]:
+    """Normalize a label mapping: legal names, stringified values."""
+    if not labels:
+        return {}
+    normalized: Dict[str, str] = {}
+    for name in sorted(labels):
+        if not _LABEL_RE.match(name):
+            raise TelemetryError(
+                f"invalid label name {name!r}; expected "
+                "[a-zA-Z_][a-zA-Z0-9_]*"
+            )
+        if name == "le":
+            raise TelemetryError(
+                "label name 'le' is reserved for histogram buckets"
+            )
+        normalized[name] = str(labels[name])
+    return normalized
+
+
+def render_labels(labels: Mapping[str, str], extra: str = "") -> str:
+    """The ``{name="value",...}`` suffix of one series (sorted names).
+
+    ``extra`` is appended verbatim after the label pairs — the exporter
+    uses it to merge the ``le`` bucket label into histogram series.
+    """
+    pairs = [
+        f'{name}="{escape_label_value(value)}"'
+        for name, value in sorted(labels.items())
+    ]
+    if extra:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    return "{" + ",".join(pairs) + "}"
+
+
 class Counter:
     """A monotonically increasing count (events, branches, hits)."""
 
     kind = "counter"
 
-    __slots__ = ("name", "help", "_value", "_lock")
+    __slots__ = ("name", "help", "labels", "_value", "_lock")
 
-    def __init__(self, name: str, help: str = "") -> None:
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, object]] = None,
+    ) -> None:
         self.name = validate_metric_name(name)
         self.help = help
+        self.labels = validate_labels(labels)
         self._value = 0.0
         self._lock = threading.Lock()
 
@@ -80,6 +139,7 @@ class Counter:
             "name": self.name,
             "type": self.kind,
             "help": self.help,
+            "labels": dict(self.labels),
             "value": self._value,
         }
 
@@ -89,11 +149,17 @@ class Gauge:
 
     kind = "gauge"
 
-    __slots__ = ("name", "help", "_value", "_lock")
+    __slots__ = ("name", "help", "labels", "_value", "_lock")
 
-    def __init__(self, name: str, help: str = "") -> None:
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, object]] = None,
+    ) -> None:
         self.name = validate_metric_name(name)
         self.help = help
+        self.labels = validate_labels(labels)
         self._value = 0.0
         self._lock = threading.Lock()
 
@@ -118,6 +184,7 @@ class Gauge:
             "name": self.name,
             "type": self.kind,
             "help": self.help,
+            "labels": dict(self.labels),
             "value": self._value,
         }
 
@@ -142,7 +209,7 @@ class Histogram:
     kind = "histogram"
 
     __slots__ = (
-        "name", "help", "bounds", "_counts", "_overflow",
+        "name", "help", "labels", "bounds", "_counts", "_overflow",
         "_sum", "_observations", "_min", "_max", "_lock",
     )
 
@@ -153,6 +220,7 @@ class Histogram:
         start: float = DEFAULT_HISTOGRAM_START,
         factor: float = DEFAULT_HISTOGRAM_FACTOR,
         count: int = DEFAULT_HISTOGRAM_BUCKETS,
+        labels: Optional[Mapping[str, object]] = None,
     ) -> None:
         if start <= 0:
             raise TelemetryError(f"histogram start must be > 0, got {start}")
@@ -166,6 +234,7 @@ class Histogram:
             )
         self.name = validate_metric_name(name)
         self.help = help
+        self.labels = validate_labels(labels)
         self.bounds: Tuple[float, ...] = tuple(
             start * factor ** i for i in range(count)
         )
@@ -232,6 +301,7 @@ class Histogram:
             "name": self.name,
             "type": self.kind,
             "help": self.help,
+            "labels": dict(self.labels),
             "count": observations,
             "sum": total,
             "min": minimum,
@@ -245,34 +315,54 @@ class MetricsRegistry:
     """Thread-safe, insertion-ordered collection of named metrics.
 
     ``counter``/``gauge``/``histogram`` are get-or-create: asking twice
-    for the same name returns the same object, and asking for an
-    existing name as a different kind raises :class:`TelemetryError`.
+    for the same name *and label set* returns the same object, and
+    asking for an existing name as a different kind (under any label
+    set) raises :class:`TelemetryError`. Each label set is its own
+    series; :meth:`get` addresses a series by name plus labels.
     """
 
     def __init__(self) -> None:
         self._metrics: "Dict[str, object]" = {}
+        self._kinds: Dict[str, str] = {}
         self._lock = threading.Lock()
 
-    def _get_or_create(self, kind: type, name: str, **kwargs):
+    @staticmethod
+    def _series_key(
+        name: str, labels: Optional[Mapping[str, object]]
+    ) -> str:
+        return name + render_labels(validate_labels(labels))
+
+    def _get_or_create(
+        self, kind: type, name: str,
+        labels: Optional[Mapping[str, object]] = None, **kwargs,
+    ):
+        key = self._series_key(name, labels)
         with self._lock:
-            existing = self._metrics.get(name)
+            registered = self._kinds.get(name)
+            if registered is not None and registered != kind.kind:
+                raise TelemetryError(
+                    f"metric {name!r} already registered as "
+                    f"{registered}, cannot re-register as {kind.kind}"
+                )
+            existing = self._metrics.get(key)
             if existing is not None:
-                if not isinstance(existing, kind):
-                    raise TelemetryError(
-                        f"metric {name!r} already registered as "
-                        f"{existing.kind}, cannot re-register as "
-                        f"{kind.kind}"
-                    )
                 return existing
-            metric = kind(name, **kwargs)
-            self._metrics[name] = metric
+            metric = kind(name, labels=labels, **kwargs)
+            self._metrics[key] = metric
+            self._kinds[name] = kind.kind
             return metric
 
-    def counter(self, name: str, help: str = "") -> Counter:
-        return self._get_or_create(Counter, name, help=help)
+    def counter(
+        self, name: str, help: str = "",
+        labels: Optional[Mapping[str, object]] = None,
+    ) -> Counter:
+        return self._get_or_create(Counter, name, labels=labels, help=help)
 
-    def gauge(self, name: str, help: str = "") -> Gauge:
-        return self._get_or_create(Gauge, name, help=help)
+    def gauge(
+        self, name: str, help: str = "",
+        labels: Optional[Mapping[str, object]] = None,
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, labels=labels, help=help)
 
     def histogram(
         self,
@@ -281,26 +371,32 @@ class MetricsRegistry:
         start: float = DEFAULT_HISTOGRAM_START,
         factor: float = DEFAULT_HISTOGRAM_FACTOR,
         count: int = DEFAULT_HISTOGRAM_BUCKETS,
+        labels: Optional[Mapping[str, object]] = None,
     ) -> Histogram:
         return self._get_or_create(
-            Histogram, name, help=help, start=start, factor=factor,
-            count=count,
+            Histogram, name, labels=labels, help=help, start=start,
+            factor=factor, count=count,
         )
 
-    def get(self, name: str) -> Optional[object]:
-        """The metric registered under ``name``, or ``None``."""
+    def get(
+        self, name: str,
+        labels: Optional[Mapping[str, object]] = None,
+    ) -> Optional[object]:
+        """The series registered under ``name`` (+ ``labels``), or
+        ``None``."""
         with self._lock:
-            return self._metrics.get(name)
+            return self._metrics.get(self._series_key(name, labels))
 
     def __contains__(self, name: str) -> bool:
         with self._lock:
-            return name in self._metrics
+            return name in self._metrics or name in self._kinds
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._metrics)
 
     def names(self) -> List[str]:
+        """Series keys (name plus rendered labels), insertion-ordered."""
         with self._lock:
             return list(self._metrics)
 

@@ -358,3 +358,64 @@ def test_report_legacy_alias():
     assert "interval" not in modern
     legacy = report.to_dict(legacy=True)
     assert legacy["interval"] == legacy["interval_index"] == 0
+
+
+class TestPoolTelemetry:
+    """The pool's self-instrumentation (gauges, counters, the boundary
+    batch-size histogram) — all optional, all keyed off ``telemetry=``."""
+
+    def make(self, capacity=4, **kwargs):
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        pool = TrackerPool(
+            capacity=capacity,
+            config=ClassifierConfig.paper_default(),
+            telemetry=telemetry,
+            **kwargs,
+        )
+        return pool, telemetry.metrics
+
+    def test_capacity_and_active_gauges(self):
+        pool, metrics = self.make(capacity=4)
+        assert metrics.get("repro_pool_capacity").value == 4
+        assert metrics.get("repro_pool_active_slots").value == 0
+        a = pool.allocate()
+        pool.allocate()
+        assert metrics.get("repro_pool_active_slots").value == 2
+        pool.release(a)
+        assert metrics.get("repro_pool_active_slots").value == 1
+        assert metrics.get("repro_pool_acquires_total").value == 2
+        assert metrics.get("repro_pool_releases_total").value == 1
+
+    def test_grow_updates_capacity_gauge_and_counter(self):
+        pool, metrics = self.make(capacity=1, auto_grow=True)
+        pool.allocate()
+        pool.allocate()  # forces growth
+        assert metrics.get("repro_pool_grows_total").value == 1
+        assert metrics.get("repro_pool_capacity").value == pool.capacity
+        assert pool.capacity > 1
+
+    def test_adoption_counter(self):
+        source = TrackerPool(capacity=1, config=ClassifierConfig.paper_default())
+        handle = source.acquire(interval_instructions=INTERVAL)
+        handle.observe_batch([0x400, 0x404], [60, 60], cpi=1.0)
+        pool, metrics = self.make(capacity=1)
+        assert pool.try_adopt(handle.export_state()) is not None
+        assert metrics.get("repro_pool_adoptions_total").value == 1
+
+    def test_boundary_batch_size_histogram(self):
+        pool, metrics = self.make(capacity=4)
+        slots = [pool.allocate(interval_instructions=100) for _ in range(3)]
+        # Every slot crosses its boundary in the same batched round.
+        pool.observe_batch(slots, [0x40, 0x44, 0x48], [150, 150, 150])
+        histogram = metrics.get("repro_pool_boundary_batch_size")
+        assert histogram.count == 1
+        assert histogram.sum == 3
+
+    def test_untelemetered_pool_has_no_metrics_overhead(self):
+        pool = TrackerPool(capacity=2, config=ClassifierConfig.paper_default())
+        assert pool._m_capacity is None
+        assert pool._m_batch is None
+        slot = pool.allocate()
+        pool.observe_batch([slot], [0x40], [10])  # must not raise

@@ -1,0 +1,275 @@
+"""The minimal HTTP/1.1 layer: parsing, caps, keep-alive, routing."""
+
+import asyncio
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.obs import (
+    HttpError,
+    HttpRequest,
+    HttpResponse,
+    HttpServer,
+    StreamingResponse,
+    route_pattern_match,
+)
+from repro.obs.http import MAX_BODY_BYTES, MAX_REQUEST_LINE_BYTES
+
+
+class TestRoutePatternMatch:
+    def test_exact_match_captures_nothing(self):
+        assert route_pattern_match("/healthz", "/healthz") == ()
+        assert route_pattern_match("/", "/") == ()
+
+    def test_wildcard_segments_capture(self):
+        assert route_pattern_match(
+            "/v1/sessions/{id}", "/v1/sessions/s1"
+        ) == ("s1",)
+        assert route_pattern_match(
+            "/v1/sessions/{id}/observe-batch",
+            "/v1/sessions/web-42/observe-batch",
+        ) == ("web-42",)
+
+    def test_mismatches_return_none(self):
+        assert route_pattern_match("/v1/sessions/{id}", "/v1/sessions") is None
+        assert route_pattern_match("/healthz", "/readyz") is None
+        assert route_pattern_match(
+            "/v1/sessions/{id}", "/v1/sessions/a/b"
+        ) is None
+
+    def test_empty_segment_never_captured(self):
+        assert route_pattern_match("/v1/sessions/{id}", "/v1/sessions//") is None
+
+
+class TestRequestObjects:
+    def make(self, body=b""):
+        return HttpRequest("POST", "/x", {}, {}, body)
+
+    def test_empty_body_decodes_to_empty_object(self):
+        assert self.make(b"").json() == {}
+
+    def test_invalid_json_is_a_400(self):
+        with pytest.raises(HttpError) as excinfo:
+            self.make(b"{nope").json()
+        assert excinfo.value.status == 400
+
+    def test_query_first(self):
+        request = HttpRequest("GET", "/x", {"a": ["1", "2"]}, {}, b"")
+        assert request.query_first("a") == "1"
+        assert request.query_first("missing") is None
+
+    def test_error_response_shape(self):
+        response = HttpResponse.error(404, "gone", code="session_not_found")
+        payload = json.loads(response.body)
+        assert payload == {
+            "error": {"message": "gone", "code": "session_not_found"}
+        }
+
+
+class ServerThread:
+    """Run an :class:`HttpServer` on its own loop in a daemon thread."""
+
+    def __init__(self, handler):
+        self.loop = asyncio.new_event_loop()
+        self.server = HttpServer(handler, host="127.0.0.1", port=0)
+        started = threading.Event()
+
+        def run():
+            asyncio.set_event_loop(self.loop)
+            self.loop.run_until_complete(self.server.start())
+            started.set()
+            self.loop.run_forever()
+            self.loop.close()
+
+        self.thread = threading.Thread(target=run, daemon=True)
+        self.thread.start()
+        assert started.wait(5)
+
+    @property
+    def port(self):
+        return self.server.port
+
+    def stop(self):
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.shutdown(), self.loop
+        )
+        future.result(timeout=5)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=5)
+
+
+async def echo_handler(request):
+    if request.path == "/boom":
+        raise RuntimeError("kaboom")
+    if request.path == "/typed":
+        raise HttpError(409, "already there")
+    if request.path == "/stream":
+        async def chunks():
+            yield b"one\n"
+            yield b"two\n"
+        return StreamingResponse(chunks(), content_type="text/plain")
+    return HttpResponse.json({
+        "method": request.method,
+        "path": request.path,
+        "body": request.body.decode("utf-8", "replace"),
+    })
+
+
+@pytest.fixture(scope="module")
+def server():
+    thread = ServerThread(echo_handler)
+    yield thread
+    thread.stop()
+
+
+def raw_exchange(port, payload, read_all=True):
+    sock = socket.create_connection(("127.0.0.1", port), timeout=10)
+    try:
+        sock.sendall(payload)
+        sock.shutdown(socket.SHUT_WR)
+        data = b""
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                return data
+            data += chunk
+    finally:
+        sock.close()
+
+
+def parse_response(data):
+    head, _, body = data.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers, body
+
+
+class TestServer:
+    def test_get_round_trip(self, server):
+        data = raw_exchange(
+            server.port, b"GET /hello HTTP/1.1\r\nHost: t\r\n\r\n"
+        )
+        status, headers, body = parse_response(data)
+        assert status == 200
+        assert headers["content-type"].startswith("application/json")
+        assert json.loads(body)["path"] == "/hello"
+
+    def test_post_body_delivered(self, server):
+        body = b'{"k": 1}'
+        request = (
+            b"POST /in HTTP/1.1\r\nHost: t\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        status, _, response_body = parse_response(
+            raw_exchange(server.port, request)
+        )
+        assert status == 200
+        assert json.loads(response_body)["body"] == '{"k": 1}'
+
+    def test_keep_alive_serves_sequential_requests(self, server):
+        sock = socket.create_connection(("127.0.0.1", server.port), timeout=10)
+        try:
+            reader = sock.makefile("rb")
+            for path in (b"/one", b"/two"):
+                sock.sendall(
+                    b"GET " + path + b" HTTP/1.1\r\nHost: t\r\n\r\n"
+                )
+                status_line = reader.readline()
+                assert b"200" in status_line
+                length = None
+                while True:
+                    line = reader.readline()
+                    if line in (b"\r\n", b""):
+                        break
+                    if line.lower().startswith(b"content-length:"):
+                        length = int(line.split(b":")[1])
+                    if line.lower().startswith(b"connection:"):
+                        assert b"keep-alive" in line.lower()
+                payload = reader.read(length)
+                assert json.loads(payload)["path"] == path.decode()
+        finally:
+            sock.close()
+
+    def test_connection_close_honored(self, server):
+        data = raw_exchange(
+            server.port,
+            b"GET /x HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+        )
+        _, headers, _ = parse_response(data)
+        assert headers["connection"] == "close"
+
+    def test_unknown_method_is_501(self, server):
+        status, _, _ = parse_response(raw_exchange(
+            server.port, b"PUT /x HTTP/1.1\r\nHost: t\r\n\r\n"
+        ))
+        assert status == 501
+
+    def test_malformed_request_line_is_400(self, server):
+        status, _, _ = parse_response(
+            raw_exchange(server.port, b"NONSENSE\r\n\r\n")
+        )
+        assert status == 400
+
+    def test_overlong_request_line_is_400(self, server):
+        request = (
+            b"GET /" + b"a" * (MAX_REQUEST_LINE_BYTES + 10)
+            + b" HTTP/1.1\r\n\r\n"
+        )
+        status, _, _ = parse_response(raw_exchange(server.port, request))
+        assert status == 400
+
+    def test_oversized_body_is_413(self, server):
+        request = (
+            b"POST /x HTTP/1.1\r\nHost: t\r\n"
+            + f"Content-Length: {MAX_BODY_BYTES + 1}\r\n\r\n".encode()
+        )
+        status, _, _ = parse_response(raw_exchange(server.port, request))
+        assert status == 413
+
+    def test_chunked_request_body_is_501(self, server):
+        request = (
+            b"POST /x HTTP/1.1\r\nHost: t\r\n"
+            b"Transfer-Encoding: chunked\r\n\r\n"
+        )
+        status, _, _ = parse_response(raw_exchange(server.port, request))
+        assert status == 501
+
+    def test_handler_exception_is_opaque_500(self, server):
+        status, _, body = parse_response(raw_exchange(
+            server.port, b"GET /boom HTTP/1.1\r\nHost: t\r\n\r\n"
+        ))
+        assert status == 500
+        assert "kaboom" in json.loads(body)["error"]["message"]
+
+    def test_http_error_keeps_status(self, server):
+        status, _, body = parse_response(raw_exchange(
+            server.port, b"GET /typed HTTP/1.1\r\nHost: t\r\n\r\n"
+        ))
+        assert status == 409
+        assert json.loads(body)["error"]["message"] == "already there"
+
+    def test_head_sends_headers_only(self, server):
+        data = raw_exchange(
+            server.port, b"HEAD /x HTTP/1.1\r\nHost: t\r\n\r\n"
+        )
+        status, headers, body = parse_response(data)
+        assert status == 200
+        assert int(headers["content-length"]) > 0
+        assert body == b""
+
+    def test_streaming_response_closes_connection(self, server):
+        data = raw_exchange(
+            server.port, b"GET /stream HTTP/1.1\r\nHost: t\r\n\r\n"
+        )
+        status, headers, body = parse_response(data)
+        assert status == 200
+        assert headers["connection"] == "close"
+        assert "content-length" not in headers
+        assert body == b"one\ntwo\n"

@@ -134,3 +134,112 @@ class TestTelemetryHub:
             with telemetry.span("inner"):
                 pass
         assert "outer/inner" in telemetry.span_timings()
+
+
+class TestLabeledExport:
+    """Satellite: full exporter output must survive parse_prometheus_text,
+    including labeled histograms and hostile label values."""
+
+    def labeled_registry(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        for route, n in (("/v1/sessions", 4), ("/v1/sessions/{id}", 9)):
+            registry.counter(
+                "http_requests_total", "Requests", labels={"route": route}
+            ).inc(n)
+        registry.gauge(
+            "build_info", "Info", labels={"version": "1.0.0", "pid": "77"}
+        ).set(1)
+        histogram = registry.histogram(
+            "req_seconds", "Latency", start=1.0, factor=2.0, count=3,
+            labels={"route": "/metrics"},
+        )
+        for value in (0.5, 1.5, 99.0):
+            histogram.observe(value)
+        # Hostile label values: spaces, quotes, backslashes.
+        registry.counter(
+            "odd_total", "Odd", labels={"msg": 'a "quoted" value', "p": "x y"}
+        ).inc(2)
+        return registry
+
+    def test_help_and_type_once_per_name(self):
+        text = PrometheusExporter().render(self.labeled_registry())
+        assert text.count("# HELP http_requests_total") == 1
+        assert text.count("# TYPE http_requests_total counter") == 1
+
+    def test_round_trip_full_output(self):
+        text = PrometheusExporter().render(self.labeled_registry())
+        samples = parse_prometheus_text(text)
+        assert samples['http_requests_total{route="/v1/sessions"}'] == 4
+        assert samples['http_requests_total{route="/v1/sessions/{id}"}'] == 9
+        assert samples['build_info{pid="77",version="1.0.0"}'] == 1
+
+    def test_round_trip_labeled_histogram_buckets(self):
+        text = PrometheusExporter().render(self.labeled_registry())
+        samples = parse_prometheus_text(text)
+        assert samples['req_seconds_bucket{route="/metrics",le="1"}'] == 1
+        assert samples['req_seconds_bucket{route="/metrics",le="2"}'] == 2
+        assert samples['req_seconds_bucket{route="/metrics",le="4"}'] == 2
+        assert samples['req_seconds_bucket{route="/metrics",le="+Inf"}'] == 3
+        assert samples['req_seconds_sum{route="/metrics"}'] == 101
+        assert samples['req_seconds_count{route="/metrics"}'] == 3
+
+    def test_round_trip_hostile_label_values(self):
+        text = PrometheusExporter().render(self.labeled_registry())
+        samples = parse_prometheus_text(text)
+        key = 'odd_total{msg="a \\"quoted\\" value",p="x y"}'
+        assert samples[key] == 2
+
+    def test_every_sample_line_parses(self):
+        text = PrometheusExporter().render(self.labeled_registry())
+        sample_lines = [
+            line for line in text.splitlines()
+            if line and not line.startswith("#")
+        ]
+        assert len(parse_prometheus_text(text)) == len(sample_lines)
+
+
+class TestEventSubscriptions:
+    def test_subscribe_receives_envelopes_without_sink(self):
+        telemetry = Telemetry()
+        subscription = telemetry.subscribe()
+        telemetry.emit("interval", phase_id=3)
+        telemetry.emit("interval", phase_id=4)
+        records = subscription.drain()
+        assert [r["event"] for r in records] == ["interval", "interval"]
+        assert records[0]["seq"] < records[1]["seq"]
+        assert records[0]["phase_id"] == 3
+        assert "ts" in records[0]
+        assert subscription.drain() == []
+
+    def test_subscribe_alongside_sink_shares_records(self):
+        stream = io.StringIO()
+        telemetry = Telemetry(events=EventLog(stream=stream))
+        subscription = telemetry.subscribe()
+        telemetry.emit("hello", n=1)
+        (via_sub,) = subscription.drain()
+        (via_sink,) = read_events(io.StringIO(stream.getvalue()))
+        assert via_sub["seq"] == via_sink["seq"]
+        assert via_sub["event"] == via_sink["event"] == "hello"
+
+    def test_overflow_drops_oldest_and_counts(self):
+        telemetry = Telemetry()
+        subscription = telemetry.subscribe(maxlen=3)
+        for index in range(5):
+            telemetry.emit("tick", index=index)
+        assert subscription.dropped == 2
+        records = subscription.drain()
+        assert [r["index"] for r in records] == [2, 3, 4]
+
+    def test_close_detaches_and_is_idempotent(self):
+        telemetry = Telemetry()
+        subscription = telemetry.subscribe()
+        telemetry.emit("one")
+        subscription.close()
+        subscription.close()
+        telemetry.emit("two")
+        assert subscription.drain() == []
+        assert subscription.closed
+
+    def test_bad_maxlen_rejected(self):
+        with pytest.raises(ValueError):
+            Telemetry().subscribe(maxlen=0)

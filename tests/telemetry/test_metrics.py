@@ -5,7 +5,15 @@ import threading
 import pytest
 
 from repro.errors import TelemetryError
-from repro.telemetry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    escape_label_value,
+    render_labels,
+    validate_labels,
+)
 
 
 class TestCounter:
@@ -33,7 +41,7 @@ class TestCounter:
         snap = counter.snapshot()
         assert snap == {
             "name": "x_total", "type": "counter", "help": "things",
-            "value": 3.0,
+            "labels": {}, "value": 3.0,
         }
 
     def test_concurrent_increments_exact(self):
@@ -140,3 +148,65 @@ class TestRegistry:
         assert len(registry) == 1
         assert registry.get("x_total").value == 0
         assert registry.get("y") is None
+
+
+class TestLabels:
+    def test_validate_sorts_and_stringifies(self):
+        normalized = validate_labels({"b": 2, "a": "x"})
+        assert normalized == {"a": "x", "b": "2"}
+        assert list(normalized) == ["a", "b"]
+        assert validate_labels(None) == {}
+        assert validate_labels({}) == {}
+
+    def test_invalid_label_names_rejected(self):
+        for bad in ("0digit", "has space", "has-dash", ""):
+            with pytest.raises(TelemetryError):
+                validate_labels({bad: "v"})
+
+    def test_reserved_le_rejected(self):
+        with pytest.raises(TelemetryError):
+            validate_labels({"le": "1.0"})
+
+    def test_escape_label_value(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+
+    def test_render_labels(self):
+        assert render_labels({}) == ""
+        labels = validate_labels({"route": "/v1", "method": "GET"})
+        assert render_labels(labels) == '{method="GET",route="/v1"}'
+        assert render_labels({}, extra='le="+Inf"') == '{le="+Inf"}'
+        assert (
+            render_labels(labels, extra='le="2"')
+            == '{method="GET",route="/v1",le="2"}'
+        )
+
+    def test_same_name_different_labels_are_distinct_series(self):
+        registry = MetricsRegistry()
+        a = registry.counter("req_total", labels={"route": "/a"})
+        b = registry.counter("req_total", labels={"route": "/b"})
+        assert a is not b
+        a.inc(3)
+        b.inc(5)
+        assert registry.get("req_total", labels={"route": "/a"}).value == 3
+        assert registry.get("req_total", labels={"route": "/b"}).value == 5
+        assert len(registry) == 2
+
+    def test_label_order_does_not_split_series(self):
+        registry = MetricsRegistry()
+        a = registry.counter("t_total", labels={"x": "1", "y": "2"})
+        b = registry.counter("t_total", labels={"y": "2", "x": "1"})
+        assert a is b
+
+    def test_kind_conflict_across_label_sets_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("thing", labels={"a": "1"})
+        with pytest.raises(TelemetryError):
+            registry.gauge("thing", labels={"a": "2"})
+
+    def test_snapshot_carries_labels(self):
+        registry = MetricsRegistry()
+        registry.gauge("occ", labels={"phase": "3"}).set(4)
+        (snap,) = registry.snapshot()
+        assert snap["labels"] == {"phase": "3"}

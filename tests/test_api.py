@@ -11,6 +11,7 @@ def test_all_names_resolve():
 def test_facade_exports_the_promised_surface():
     assert set(api.__all__) == {
         "ClassifierConfig",
+        "HttpGateway",
         "PhaseServiceClient",
         "PhaseTracker",
         "TrackerPool",
@@ -21,6 +22,7 @@ def test_facade_exports_the_promised_surface():
 def test_facade_names_are_the_canonical_classes():
     from repro.core import ClassifierConfig, PhaseTracker, TrackerPool
     from repro.core.online import TrackerReport
+    from repro.obs import HttpGateway
     from repro.service.client import PhaseServiceClient
 
     assert api.ClassifierConfig is ClassifierConfig
@@ -28,3 +30,4 @@ def test_facade_names_are_the_canonical_classes():
     assert api.TrackerPool is TrackerPool
     assert api.TrackerReport is TrackerReport
     assert api.PhaseServiceClient is PhaseServiceClient
+    assert api.HttpGateway is HttpGateway
