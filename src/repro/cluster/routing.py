@@ -1,0 +1,168 @@
+"""Consistent-hash session routing for the cluster dispatcher.
+
+Two layers, deliberately separate:
+
+1. **Session → shard**: ``shard_of(session)`` hashes the session name
+   with CRC-32 into one of ``num_shards`` fixed buckets. CRC-32 is
+   process-independent (unlike the salted built-in ``hash``), so every
+   dispatcher incarnation — and every test — agrees on the placement.
+2. **Shard → worker**: :class:`ShardMap` assigns each shard to one live
+   worker by rendezvous (highest-random-weight) hashing. Every worker
+   scores every shard with a keyed BLAKE2b digest; the highest score
+   owns it. Rendezvous gives the two invariants the cluster needs
+   without any token ring bookkeeping:
+
+   - **exactly one owner**: the max over a fixed score table is
+     deterministic (ties broken by worker id, though 64-bit digest ties
+     are astronomically unlikely);
+   - **minimal movement**: removing a worker reassigns *only its own*
+     shards (every other shard's winning score is untouched), and
+     adding one steals only the shards the newcomer now wins —
+     ~``1/N`` of them in expectation.
+
+The property tests in ``tests/cluster/test_routing.py`` pin both
+invariants down with hypothesis.
+
+The shard count is a fixed routing granularity, not a worker count:
+64 shards over 4 workers means each worker owns ~16 shards, and a
+rebalance moves whole shards. It only bounds how evenly load can
+spread (you cannot use more workers than shards), so it is sized
+comfortably above any worker count a single dispatcher box can host.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import zlib
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ClusterError
+
+#: Default number of fixed shards a session name hashes into.
+DEFAULT_SHARDS = 64
+
+
+def shard_of(session: str, num_shards: int = DEFAULT_SHARDS) -> int:
+    """The fixed shard bucket for a session name.
+
+    Stable across processes and Python versions: CRC-32 of the UTF-8
+    name, modulo the shard count.
+    """
+    return zlib.crc32(session.encode("utf-8")) % num_shards
+
+
+def _score(shard: int, worker: str) -> int:
+    """Rendezvous weight of ``worker`` for ``shard`` — a 64-bit keyed
+    digest, so scores for different shards are independent."""
+    digest = hashlib.blake2b(
+        f"{shard}|{worker}".encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+class ShardMap:
+    """Assigns every shard to exactly one live worker.
+
+    Membership changes (:meth:`add_worker` / :meth:`remove_worker`)
+    invalidate the cached assignment; lookups recompute it lazily in
+    one pass over ``num_shards × num_workers`` scores.
+    """
+
+    def __init__(
+        self,
+        workers: Iterable[str] = (),
+        num_shards: int = DEFAULT_SHARDS,
+    ) -> None:
+        if num_shards <= 0:
+            raise ClusterError(
+                f"num_shards must be positive, got {num_shards}"
+            )
+        self.num_shards = num_shards
+        self._workers: List[str] = []
+        self._owners: Optional[Tuple[str, ...]] = None
+        for worker in workers:
+            self.add_worker(worker)
+
+    # -- membership ------------------------------------------------------------
+
+    @property
+    def workers(self) -> Tuple[str, ...]:
+        """Live worker ids, sorted."""
+        return tuple(sorted(self._workers))
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def __contains__(self, worker: str) -> bool:
+        return worker in self._workers
+
+    def add_worker(self, worker: str) -> None:
+        if not worker or not isinstance(worker, str):
+            raise ClusterError(
+                f"worker id must be a non-empty string, got {worker!r}"
+            )
+        if worker in self._workers:
+            raise ClusterError(f"worker {worker!r} is already in the map")
+        self._workers.append(worker)
+        self._owners = None
+
+    def remove_worker(self, worker: str) -> None:
+        if worker not in self._workers:
+            raise ClusterError(f"worker {worker!r} is not in the map")
+        self._workers.remove(worker)
+        self._owners = None
+
+    # -- assignment ------------------------------------------------------------
+
+    def _assignment(self) -> Tuple[str, ...]:
+        if self._owners is None:
+            if not self._workers:
+                raise ClusterError(
+                    "shard map has no live workers to route to"
+                )
+            self._owners = tuple(
+                max(
+                    self._workers,
+                    key=lambda worker: (_score(shard, worker), worker),
+                )
+                for shard in range(self.num_shards)
+            )
+        return self._owners
+
+    def owner_of_shard(self, shard: int) -> str:
+        """The worker that owns ``shard``."""
+        if not 0 <= shard < self.num_shards:
+            raise ClusterError(
+                f"shard {shard} out of range [0, {self.num_shards})"
+            )
+        return self._assignment()[shard]
+
+    def owner_of(self, session: str) -> str:
+        """The worker a session name hashes to."""
+        return self.owner_of_shard(shard_of(session, self.num_shards))
+
+    def shards_of(self, worker: str) -> List[int]:
+        """All shards currently owned by ``worker`` (empty when the
+        worker is not in the map)."""
+        if worker not in self._workers:
+            return []
+        return [
+            shard
+            for shard, owner in enumerate(self._assignment())
+            if owner == worker
+        ]
+
+    def occupancy(self) -> Dict[str, int]:
+        """Shard count per live worker (including zero-shard workers)."""
+        counts = {worker: 0 for worker in self.workers}
+        for owner in self._assignment():
+            counts[owner] += 1
+        return counts
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-safe description for ``cluster status`` / ``/v1/cluster``."""
+        return {
+            "num_shards": self.num_shards,
+            "workers": list(self.workers),
+            "occupancy": self.occupancy() if self._workers else {},
+        }

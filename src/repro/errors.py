@@ -143,6 +143,18 @@ class PersistenceError(ReproError):
     """
 
 
+class ClusterError(ServiceError):
+    """The cluster layer refused or could not complete a request.
+
+    Raised by the dispatcher for unknown worker ids, migrations that
+    cannot proceed (unknown session, last live worker), and requests
+    whose worker connection was lost mid-exchange after the reconnect
+    window expired. Carried on the wire as error code ``cluster``, so
+    clients can distinguish a cluster-topology refusal from both
+    single-service application errors and transport failures.
+    """
+
+
 class ServiceTransportError(ServiceError):
     """The client could not complete the exchange (connect failure,
     timeout, or a connection dropped mid-request).

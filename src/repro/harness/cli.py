@@ -15,6 +15,8 @@ inspect with ``repro-phases cache stats``). It also hosts the
 streaming classification service::
 
     repro-phases serve --port 9137   # NDJSON phase service (Ctrl-C drains)
+    repro-phases serve --workers 4   # sharded multi-process cluster
+    repro-phases cluster status      # inspect a running cluster
 """
 
 from __future__ import annotations
@@ -121,6 +123,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _serve_main(list(argv[1:]))
     if argv and argv[0] == "cache":
         return _cache_main(list(argv[1:]))
+    if argv and argv[0] == "cluster":
+        return _cluster_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
     available = experiment_names()
     if args.list:
@@ -358,12 +362,32 @@ def _serve_main(argv: List[str]) -> int:
         "--events", metavar="PATH", default=None,
         help="stream JSONL telemetry events to PATH while serving",
     )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="run as a sharded cluster: a dispatcher on --port plus N "
+        "supervised worker processes (each a full phase service on a "
+        "Unix socket), sessions consistent-hashed across them, live "
+        "migration via 'repro-phases cluster' (default: one process)",
+    )
+    parser.add_argument(
+        "--runtime-dir", metavar="PATH", default=None,
+        help="cluster sockets + worker logs directory (default: a "
+        "fresh temp dir; needs --workers)",
+    )
+    parser.add_argument(
+        "--num-shards", type=int, default=None, metavar="N",
+        help="fixed shard count sessions hash into (default 64; "
+        "needs --workers)",
+    )
     args = parser.parse_args(argv)
 
     import asyncio
     import signal
 
     from repro.service import PhaseService
+
+    if args.workers is not None:
+        return _serve_cluster(args)
 
     telemetry = None
     if args.metrics is not None or args.events is not None:
@@ -439,6 +463,154 @@ def _serve_main(argv: List[str]) -> int:
         f"{service.registry.sessions_opened} sessions",
         flush=True,
     )
+    return 0
+
+
+def _serve_cluster(args) -> int:
+    """``repro-phases serve --workers N``: the sharded multi-process
+    cluster — dispatcher on ``--port``, N supervised workers."""
+    import asyncio
+    import signal
+    import tempfile
+
+    from repro.cluster import DEFAULT_SHARDS, ClusterDispatcher
+
+    telemetry = None
+    if args.metrics is not None or args.events is not None:
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry.to_files(
+            metrics_path=args.metrics, events_path=args.events
+        )
+    runtime_dir = args.runtime_dir or tempfile.mkdtemp(
+        prefix="repro-cluster-"
+    )
+    dispatcher = ClusterDispatcher(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        runtime_dir=runtime_dir,
+        data_root=args.data_dir,
+        num_shards=args.num_shards or DEFAULT_SHARDS,
+        queue_size=args.queue_size,
+        max_connections=args.max_connections,
+        telemetry=telemetry,
+        http_host=args.http_host,
+        http_port=args.http_port,
+        worker_max_sessions=args.max_sessions,
+        pool_slots=args.pool_slots,
+        sync=args.sync,
+        checkpoint_interval=args.checkpoint_interval,
+        idle_ttl=args.idle_ttl,
+    )
+
+    async def _run() -> None:
+        await dispatcher.start()
+        loop = asyncio.get_event_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(
+                    signum,
+                    lambda: asyncio.ensure_future(
+                        dispatcher.shutdown(drain=True)
+                    ),
+                )
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        print(
+            f"repro-phases cluster listening on "
+            f"{dispatcher.host}:{dispatcher.port} "
+            f"({len(dispatcher.shard_map)} workers, "
+            f"{dispatcher.shard_map.num_shards} shards, "
+            f"runtime {runtime_dir}); Ctrl-C to drain and exit",
+            flush=True,
+        )
+        if args.data_dir is not None:
+            print(
+                f"durable workers under {args.data_dir} "
+                f"(sync={args.sync}, per-worker data dirs)",
+                flush=True,
+            )
+        if dispatcher.http_port is not None:
+            print(
+                f"http gateway on "
+                f"http://{dispatcher.http_host}:{dispatcher.http_port}/ "
+                f"(dashboard; /v1/cluster for topology)",
+                flush=True,
+            )
+        await dispatcher.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler race
+        pass
+    finally:
+        if telemetry is not None:
+            telemetry.emit("run_end")
+            telemetry.close()
+    print(
+        f"cluster drained cleanly: {dispatcher.requests_served} "
+        f"requests, {dispatcher.migrations_completed} migrations",
+        flush=True,
+    )
+    return 0
+
+
+def _cluster_main(argv: List[str]) -> int:
+    """The ``repro-phases cluster`` subcommand: control-plane actions
+    against a running cluster dispatcher (or, for ``diagnostics``, any
+    phase service)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-phases cluster",
+        description=(
+            "Administer a running 'serve --workers N' cluster over its "
+            "NDJSON endpoint: inspect topology, migrate sessions, "
+            "drain or add workers."
+        ),
+    )
+    parser.add_argument(
+        "action",
+        choices=(
+            "status", "diagnostics", "migrate", "drain-worker",
+            "rebalance", "grow",
+        ),
+        help="control-plane action to run",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="dispatcher address")
+    parser.add_argument("--port", type=int, default=9137,
+                        help="dispatcher NDJSON port (default 9137)")
+    parser.add_argument("--session", default=None,
+                        help="session name (migrate)")
+    parser.add_argument("--worker", default=None,
+                        help="worker id (migrate target / drain-worker)")
+    parser.add_argument("--count", type=int, default=None,
+                        help="workers to add (grow; default 1)")
+    parser.add_argument("--timeout", type=float, default=120.0,
+                        help="per-request timeout in seconds")
+    args = parser.parse_args(argv)
+
+    import json
+
+    from repro.errors import ServiceError
+    from repro.service import PhaseServiceClient
+
+    params = {}
+    if args.session is not None:
+        params["session"] = args.session
+    if args.worker is not None:
+        params["worker"] = args.worker
+    if args.count is not None:
+        params["count"] = args.count
+    try:
+        with PhaseServiceClient(
+            host=args.host, port=args.port, timeout=args.timeout
+        ) as client:
+            result = client.cluster(args.action, **params)
+    except ServiceError as error:
+        print(f"cluster {args.action} failed: {error}", file=sys.stderr)
+        return 1
+    print(json.dumps(result, indent=2, default=float))
     return 0
 
 

@@ -12,7 +12,7 @@ Run it with ``repro-phases serve --http-port 8080`` or construct a
 Stdlib only, like everything else in the repo.
 """
 
-from repro.obs.gateway import ERROR_STATUS, HttpGateway
+from repro.obs.gateway import ClusterGateway, ERROR_STATUS, HttpGateway
 from repro.obs.http import (
     HttpError,
     HttpRequest,
@@ -23,6 +23,7 @@ from repro.obs.http import (
 )
 
 __all__ = [
+    "ClusterGateway",
     "ERROR_STATUS",
     "HttpError",
     "HttpGateway",

@@ -112,6 +112,16 @@ DASHBOARD_HTML = """<!DOCTYPE html>
   #events .e { font-weight: 600; flex: 0 0 120px; }
   #events .d { color: var(--ink-2); overflow: hidden;
                text-overflow: ellipsis; white-space: nowrap; }
+  #workers { font-size: 12.5px; font-variant-numeric: tabular-nums; }
+  #workers .row {
+    display: flex; gap: 10px; padding: 4px 0;
+    border-bottom: 1px solid var(--grid);
+  }
+  #workers .w { font-weight: 600; flex: 0 0 56px; }
+  #workers .st { flex: 0 0 84px; }
+  #workers .st.up { color: var(--good); }
+  #workers .st.down { color: var(--critical); }
+  #workers .d { color: var(--ink-2); }
   #tip {
     position: fixed; pointer-events: none; display: none;
     background: var(--surface); color: var(--ink);
@@ -180,6 +190,12 @@ DASHBOARD_HTML = """<!DOCTYPE html>
       <h2>Live events</h2>
       <p class="sub" id="events-sub">via /v1/events (SSE)</p>
       <div id="events"></div>
+    </div>
+    <div class="panel" id="cluster-panel" style="display:none">
+      <h2>Cluster workers</h2>
+      <p class="sub" id="cluster-sub">per-worker health and shard
+        occupancy</p>
+      <div id="workers"></div>
     </div>
   </div>
 </main>
@@ -326,6 +342,7 @@ async function poll() {
       + pct(diag.prediction.confident_accuracy) + " confident";
     $("state").textContent = diag.draining ? "◌ draining" : "● serving";
     $("state").className = "badge " + (diag.draining ? "drain" : "ok");
+    drawCluster(diag.cluster);
     history.push({
       accuracy: diag.prediction.accuracy,
       confident: diag.prediction.confident_accuracy,
@@ -336,6 +353,37 @@ async function poll() {
     $("conn").textContent = "";
   } catch (err) {
     $("conn").textContent = "· diagnostics unreachable";
+  }
+}
+
+// -- cluster worker panel ---------------------------------------------------
+function drawCluster(cluster) {
+  const panel = $("cluster-panel");
+  if (!cluster || !cluster.workers) { panel.style.display = "none"; return; }
+  panel.style.display = "";
+  const mig = cluster.migrations || {};
+  $("cluster-sub").textContent =
+    fmt(cluster.sessions) + " sessions · " +
+    fmt(mig.completed) + " migrations" +
+    (mig.in_progress ? " · " + mig.in_progress + " in flight" : "");
+  const box = $("workers");
+  box.textContent = "";
+  for (const [id, w] of Object.entries(cluster.workers)) {
+    const row = document.createElement("div");
+    row.className = "row";
+    row.innerHTML = `<span class="w"></span><span class="st"></span>` +
+                    `<span class="d"></span>`;
+    row.children[0].textContent = id;
+    row.children[1].textContent = w.state;
+    row.children[1].className =
+      "st " + (w.state === "up" ? "up"
+               : w.state === "stopped" ? "" : "down");
+    row.children[2].textContent =
+      fmt(w.sessions) + " sessions · " + fmt(w.shards) + " shards" +
+      (w.restarts ? " · " + w.restarts + " restart" +
+        (w.restarts === 1 ? "" : "s") : "") +
+      (w.pid ? " · pid " + w.pid : "");
+    box.appendChild(row);
   }
 }
 
@@ -387,6 +435,11 @@ function startEvents() {
   ["interval", "session_opened", "session_closed", "session_evicted",
    "session_expired", "session_hydrated", "session_adopted",
    "service_start", "service_stop", "checkpoint_sweep_failed",
+   "cluster_start", "cluster_stop", "cluster_worker_started",
+   "cluster_worker_ready", "cluster_worker_exited",
+   "cluster_worker_restarted", "cluster_worker_drained",
+   "cluster_migration_started", "cluster_migration_completed",
+   "cluster_migration_failed", "cluster_grown",
   ].forEach(name => source.addEventListener(name, push));
   source.onmessage = push;
   source.onerror = () => {

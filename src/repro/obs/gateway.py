@@ -56,6 +56,7 @@ ERROR_STATUS: Dict[str, int] = {
     "overloaded": 429,
     "shutting_down": 503,
     "snapshot": 400,
+    "cluster": 503,
     "internal": 500,
 }
 
@@ -424,6 +425,109 @@ class HttpGateway:
             subscription.close()
             if self._telemetry is not None:
                 self._g_subscribers.dec()
+
+
+class ClusterGateway(HttpGateway):
+    """The operations surface for a
+    :class:`~repro.cluster.dispatcher.ClusterDispatcher`.
+
+    Same shell as :class:`HttpGateway` — dashboard, probes,
+    ``/metrics``, SSE events, drain — but the data plane differs:
+
+    - ``/v1/diagnostics`` aggregates every worker's diagnostics into
+      the single-service shape (so the dashboard renders unchanged)
+      plus a ``cluster`` section with per-worker health and shard
+      occupancy;
+    - ``GET /v1/cluster`` returns the topology (worker states, shard
+      map, session placement, migration counters) without touching the
+      workers; ``POST /v1/cluster`` runs a control-plane action
+      (``migrate``, ``drain-worker``, ``rebalance``, ``grow``);
+    - the per-session CRUD routes are not served — sessions live on
+      the workers and the NDJSON endpoint is the data plane;
+    - ``/metrics`` refreshes the ``repro_cluster_*`` labeled gauges
+      before rendering, so scrapes always see current per-worker
+      health, session counts, and shard occupancy.
+    """
+
+    def __init__(
+        self,
+        dispatcher,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        super().__init__(dispatcher, host=host, port=port)
+        self._routes = [
+            ("GET", "/", "/", self._route_dashboard, False),
+            ("GET", "/healthz", "/healthz", self._route_healthz, False),
+            ("GET", "/readyz", "/readyz", self._route_readyz, False),
+            ("GET", "/metrics", "/metrics", self._route_metrics, False),
+            ("GET", "/v1/cluster", "/v1/cluster",
+             self._route_cluster, False),
+            ("POST", "/v1/cluster", "/v1/cluster",
+             self._route_cluster_action, True),
+            ("GET", "/v1/diagnostics", "/v1/diagnostics",
+             self._route_diagnostics, False),
+            ("GET", "/v1/events", "/v1/events", self._route_events, False),
+            ("POST", "/v1/drain", "/v1/drain", self._route_drain, True),
+        ]
+
+    async def _route_healthz(self, request: HttpRequest) -> HttpResponse:
+        from repro import __version__
+        import os
+
+        dispatcher = self.service
+        workers = {
+            worker_id: handle.state
+            for worker_id, handle in sorted(
+                dispatcher.supervisor.workers.items()
+            )
+        }
+        return HttpResponse.json({
+            "status": "ok",
+            "draining": dispatcher.draining,
+            "version": __version__,
+            "pid": os.getpid(),
+            "uptime_seconds": dispatcher.uptime_seconds,
+            "sessions": len(dispatcher._sessions),
+            "workers": workers,
+        })
+
+    async def _route_metrics(self, request: HttpRequest) -> HttpResponse:
+        self.service.refresh_cluster_metrics()
+        return await super()._route_metrics(request)
+
+    async def _route_diagnostics(
+        self, request: HttpRequest
+    ) -> HttpResponse:
+        return HttpResponse.json(
+            await self.service.aggregate_diagnostics()
+        )
+
+    async def _route_cluster(self, request: HttpRequest) -> HttpResponse:
+        return HttpResponse.json(self.service.cluster_status())
+
+    async def _route_cluster_action(
+        self, request: HttpRequest
+    ) -> HttpResponse:
+        from repro.errors import ReproError
+
+        body = _require_object(request.json())
+        action = body.get("action")
+        if not isinstance(action, str) or not action:
+            raise HttpError(400, "'action' must be a non-empty string")
+        params = body.get("params", {})
+        if not isinstance(params, dict):
+            raise HttpError(400, "'params' must be an object")
+        try:
+            result = await self.service._execute_cluster(
+                protocol.ClusterRequest(id=0, action=action, params=params)
+            )
+        except ReproError as error:
+            code = protocol.error_code_for(error)
+            raise HttpError(
+                ERROR_STATUS.get(code, 500), str(error)
+            ) from None
+        return HttpResponse.json(result)
 
 
 def _require_object(body: object) -> dict:

@@ -21,16 +21,37 @@ Failure semantics — the part worth reading twice:
   exponential backoff; mutating requests (open, observe, close) are
   never retried, because replaying an observe would double-classify
   its intervals.
+- **Connection resets** (``ECONNRESET``/``EPIPE``/EOF mid-read) on a
+  *read-only* request additionally get one transparent, immediate
+  reconnect attempt on top of the configured ``retries`` — a cluster
+  dispatcher failing over or a supervised worker restarting looks like
+  exactly one reset, and a well-behaved client should ride through it
+  without surfacing :class:`ServiceTransportError`. Timeouts do NOT
+  qualify: a slow server is not a failover.
 """
 
 from __future__ import annotations
 
+import errno
 import socket
 import time
 from typing import List, Optional
 
 from repro.errors import ConfigurationError, ServiceTransportError
 from repro.service import protocol
+
+#: ``errno`` values that mean the peer went away abruptly — the
+#: signature of a server restart or failover, as opposed to a timeout
+#: (slow server, request possibly still executing).
+_RESET_ERRNOS = frozenset(
+    {errno.ECONNRESET, errno.EPIPE, errno.ECONNABORTED, errno.ESHUTDOWN}
+)
+
+
+def _transport_error(message: str, *, reset: bool) -> ServiceTransportError:
+    error = ServiceTransportError(message)
+    error.connection_reset = reset
+    return error
 
 
 class PhaseServiceClient:
@@ -90,8 +111,12 @@ class PhaseServiceClient:
                     (self.host, self.port), timeout=self.timeout
                 )
             except OSError as error:
-                raise ServiceTransportError(
-                    f"cannot connect to {self.host}:{self.port}: {error}"
+                # A refused/unreachable connect is not a *reset*: no
+                # request was ever in flight, so it earns no bonus.
+                raise _transport_error(
+                    f"cannot connect to {self.host}:{self.port}: "
+                    f"{error}",
+                    reset=False,
                 ) from None
             self._sock = sock
             self._reader = sock.makefile("rb")
@@ -128,9 +153,10 @@ class PhaseServiceClient:
             while True:
                 line = self._reader.readline()
                 if not line:
-                    raise ServiceTransportError(
+                    raise _transport_error(
                         "connection closed while awaiting a response "
-                        "(the request's fate is unknown)"
+                        "(the request's fate is unknown)",
+                        reset=True,
                     )
                 message = protocol.parse_server_message(line)
                 if isinstance(message, protocol.IntervalPush):
@@ -149,11 +175,18 @@ class PhaseServiceClient:
             raise
         except (OSError, ValueError) as error:
             # socket.timeout is an OSError; ValueError covers reads
-            # from a half-closed file object.
+            # from a half-closed file object. Only abrupt peer
+            # disconnects count as resets — a timeout leaves the
+            # request possibly still executing server-side.
+            reset = (
+                isinstance(error, (ConnectionResetError, BrokenPipeError))
+                or getattr(error, "errno", None) in _RESET_ERRNOS
+            )
             self._disconnect()
-            raise ServiceTransportError(
+            raise _transport_error(
                 f"transport failure talking to {self.host}:{self.port}: "
-                f"{error}"
+                f"{error}",
+                reset=reset,
             ) from None
 
     def _request(self, payload: dict, retryable: bool = False) -> dict:
@@ -167,14 +200,32 @@ class PhaseServiceClient:
         attempts = self.retries + 1 if retryable else 1
         delay = self.backoff
         last_error: Optional[ServiceTransportError] = None
-        for attempt in range(attempts):
+        reset_bonus_spent = False
+        attempt = 0
+        while attempt < attempts:
             if attempt:
                 time.sleep(delay)
                 delay *= 2
+            attempt += 1
             try:
                 response = self._request_once(payload)
             except ServiceTransportError as error:
                 last_error = error
+                if (
+                    retryable
+                    and attempt >= attempts
+                    and not reset_bonus_spent
+                    and getattr(error, "connection_reset", False)
+                ):
+                    # One transparent, immediate reconnect beyond the
+                    # configured retries: a dispatcher failover or a
+                    # supervised worker restart presents as exactly one
+                    # reset, and read-only ops are safe to repeat. The
+                    # bonus is spent whether or not it succeeds, so a
+                    # dead server still fails after retries+1 tries.
+                    reset_bonus_spent = True
+                    attempts += 1
+                    delay = max(delay, self.backoff)
                 continue
             response.raise_for_error()
             return response.result
@@ -264,6 +315,27 @@ class PhaseServiceClient:
             protocol.request_payload(request), retryable=True
         )
         return result["snapshot"]
+
+    #: ``cluster`` actions that only read topology/diagnostics state —
+    #: safe to repeat after a transport failure. Mutating actions
+    #: (migrate, drain-worker, rebalance, grow) are never retried.
+    _READONLY_CLUSTER_ACTIONS = frozenset({"status", "diagnostics"})
+
+    def cluster(self, action: str, **params: object) -> dict:
+        """Run a cluster control-plane action against a dispatcher
+        (``status``, ``migrate``, ``drain-worker``, ``rebalance``,
+        ``grow``) or the ``diagnostics`` action against any service.
+
+        Against a plain single-process service, anything other than
+        ``diagnostics`` raises :class:`~repro.errors.ClusterError`.
+        """
+        request = protocol.ClusterRequest(
+            id=self._new_id(), action=action, params=dict(params)
+        )
+        return self._request(
+            protocol.request_payload(request),
+            retryable=action in self._READONLY_CLUSTER_ACTIONS,
+        )
 
     def drain_reports(self, session: Optional[str] = None) -> List[dict]:
         """Pop buffered interval reports (for ``session``, or all)."""

@@ -16,6 +16,7 @@ Requests::
     {"op":"predict","id":5,"session":"s1"}
     {"op":"snapshot","id":6,"session":"s1"}
     {"op":"close","id":7,"session":"s1"}
+    {"op":"cluster","id":8,"action":"status","params":{}}
 
 Responses::
 
@@ -42,6 +43,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Type, Union
 
 from repro.errors import (
+    ClusterError,
     ProtocolError,
     ServiceError,
     ServiceOverloadedError,
@@ -67,6 +69,7 @@ ERROR_CODE_EXCEPTIONS: Dict[str, Type[ServiceError]] = {
     "overloaded": ServiceOverloadedError,
     "shutting_down": ServiceUnavailableError,
     "snapshot": SnapshotError,
+    "cluster": ClusterError,
     "internal": ServiceError,
 }
 
@@ -180,6 +183,24 @@ class SnapshotRequest:
     op = "snapshot"
 
 
+@dataclass(frozen=True)
+class ClusterRequest:
+    """A cluster control-plane operation.
+
+    Understood fully only by a cluster dispatcher (``status``,
+    ``drain-worker``, ``migrate``, ``rebalance``, ``grow``); a plain
+    :class:`~repro.service.server.PhaseService` answers only the
+    ``diagnostics`` action (the dispatcher uses it to assemble the
+    cluster-wide view) and refuses everything else with error code
+    ``cluster``.
+    """
+
+    id: int
+    action: str
+    params: dict = field(default_factory=dict)
+    op = "cluster"
+
+
 Request = Union[
     PingRequest,
     StatsRequest,
@@ -188,10 +209,11 @@ Request = Union[
     ObserveRequest,
     PredictRequest,
     SnapshotRequest,
+    ClusterRequest,
 ]
 
 _REQUEST_OPS = ("ping", "stats", "open", "close", "observe", "predict",
-                "snapshot")
+                "snapshot", "cluster")
 
 
 # -- server-to-client messages ------------------------------------------------
@@ -279,6 +301,10 @@ def request_payload(request: Request) -> dict:
         request, (CloseRequest, PredictRequest, SnapshotRequest)
     ):
         payload["session"] = request.session
+    elif isinstance(request, ClusterRequest):
+        payload["action"] = request.action
+        if request.params:
+            payload["params"] = request.params
     return payload
 
 
@@ -409,6 +435,16 @@ def parse_request(line: Union[str, bytes]) -> Request:
             counts=counts,
             cpi=float(cpi),
         )
+    if op == "cluster":
+        action = payload.get("action")
+        if not isinstance(action, str) or not action:
+            raise ProtocolError(
+                "cluster 'action' must be a non-empty string"
+            )
+        params = payload.get("params", {})
+        if not isinstance(params, dict):
+            raise ProtocolError("cluster 'params' must be an object")
+        return ClusterRequest(id=request_id, action=action, params=params)
     session = _require_session(payload)
     if op == "close":
         return CloseRequest(id=request_id, session=session)

@@ -37,11 +37,13 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import threading
 import time
 from typing import Dict, List, Optional, TYPE_CHECKING
 
 from repro.errors import (
+    ClusterError,
     ConfigurationError,
     ProtocolError,
     ReproError,
@@ -121,6 +123,13 @@ class PhaseService:
         (the structure-of-arrays fast path; the pool grows on demand).
         Sessions opened with non-default configuration overrides fall
         back to scalar trackers transparently.
+    uds_path:
+        When given, listen on this Unix domain socket instead of the
+        TCP ``host``/``port`` pair. This is the cluster worker mode:
+        the dispatcher proxies client frames over per-worker Unix
+        sockets, which skip the TCP stack and are unreachable from off
+        the box. A stale socket file from a previous incarnation is
+        unlinked before binding.
     http_host, http_port:
         When ``http_port`` is given (0 picks a free port), run the
         :class:`~repro.obs.HttpGateway` alongside the NDJSON listener:
@@ -148,6 +157,7 @@ class PhaseService:
         checkpoint_interval: float = 30.0,
         sync: str = "batch",
         pool_slots: Optional[int] = None,
+        uds_path: Optional[str] = None,
         http_host: Optional[str] = None,
         http_port: Optional[int] = None,
     ) -> None:
@@ -176,6 +186,7 @@ class PhaseService:
             telemetry = _Telemetry()
         self.host = host
         self.port = port
+        self.uds_path = uds_path
         self.http_host = http_host if http_host is not None else host
         self.http_port = http_port
         self._gateway = None
@@ -310,15 +321,26 @@ class PhaseService:
         if self._server is not None:
             raise ServiceUnavailableError("service is already started")
         self._stopped = asyncio.Event()
-        self._server = await asyncio.start_server(
-            self._handle_connection,
-            self.host,
-            self.port,
-            limit=protocol.MAX_LINE_BYTES,
-        )
-        sockets = self._server.sockets or []
-        if sockets:
-            self.port = sockets[0].getsockname()[1]
+        if self.uds_path is not None:
+            try:
+                os.unlink(self.uds_path)
+            except FileNotFoundError:
+                pass
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection,
+                path=self.uds_path,
+                limit=protocol.MAX_LINE_BYTES,
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection,
+                self.host,
+                self.port,
+                limit=protocol.MAX_LINE_BYTES,
+            )
+            sockets = self._server.sockets or []
+            if sockets:
+                self.port = sockets[0].getsockname()[1]
         if self.idle_ttl_enabled:
             self._sweeper = asyncio.ensure_future(self._sweep_idle())
         if self._persistence is not None:
@@ -431,6 +453,11 @@ class PhaseService:
         server, self._server = self._server, None
         server.close()
         await server.wait_closed()
+        if self.uds_path is not None:
+            try:
+                os.unlink(self.uds_path)
+            except OSError:
+                pass
         if self._sweeper is not None:
             self._sweeper.cancel()
             self._sweeper = None
@@ -584,7 +611,11 @@ class PhaseService:
                     continue
                 if self._draining and not isinstance(
                     request,
-                    (protocol.PingRequest, protocol.StatsRequest),
+                    (
+                        protocol.PingRequest,
+                        protocol.StatsRequest,
+                        protocol.ClusterRequest,
+                    ),
                 ):
                     # Lines read after drain began: typed refusal, so
                     # the client knows the work was NOT ingested.
@@ -717,6 +748,16 @@ class PhaseService:
         if isinstance(request, protocol.PredictRequest):
             session = self.registry.get(request.session)
             return self._predict_result(session)
+        if isinstance(request, protocol.ClusterRequest):
+            # A worker answers the diagnostics action so a dispatcher
+            # can aggregate the same shape the dashboard renders; every
+            # other cluster action belongs to the dispatcher.
+            if request.action == "diagnostics":
+                return self.diagnostics()
+            raise ClusterError(
+                f"action {request.action!r} requires a cluster "
+                f"dispatcher; this is a single phase service"
+            )
         assert isinstance(request, protocol.SnapshotRequest)
         session = self.registry.get(request.session)
         return {"snapshot": snapshot_tracker(session.tracker)}

@@ -1,0 +1,109 @@
+"""The cluster-aware HTTP gateway: /v1/cluster (topology + control
+actions), cluster-wide /healthz and /v1/diagnostics, and the labeled
+per-worker Prometheus gauges."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cluster import start_cluster_in_thread
+from repro.service import PhaseServiceClient
+
+
+def call(base, method, path, body=None):
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(
+        base + path, data=data, method=method
+    )
+    if data is not None:
+        request.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+@pytest.fixture(scope="module")
+def cluster(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("cluster-gw")
+    handle = start_cluster_in_thread(
+        port=0, workers=2, runtime_dir=str(tmp / "rt"), num_shards=8,
+        http_port=0,
+    )
+    yield handle
+    handle.stop()
+
+
+@pytest.fixture(scope="module")
+def base(cluster):
+    dispatcher = cluster.dispatcher
+    return f"http://{dispatcher.http_host}:{dispatcher.http_port}"
+
+
+class TestClusterEndpoints:
+    def test_healthz_lists_workers(self, base):
+        status, body = call(base, "GET", "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert set(body["workers"].values()) == {"up"}
+
+    def test_v1_cluster_topology(self, base, cluster):
+        status, body = call(base, "GET", "/v1/cluster")
+        assert status == 200
+        assert set(body["workers"]) == set(
+            cluster.dispatcher.shard_map.workers
+        )
+        assert (
+            sum(body["shard_map"]["occupancy"].values())
+            == body["shard_map"]["num_shards"]
+        )
+
+    def test_post_migrate_moves_a_session(self, base, cluster):
+        dispatcher = cluster.dispatcher
+        with PhaseServiceClient(port=cluster.port, timeout=30.0) as c:
+            c.open_session(session="gw-mig", interval_instructions=5000)
+            source = dispatcher._sessions["gw-mig"]
+            target = next(
+                worker
+                for worker in dispatcher.shard_map.workers
+                if worker != source
+            )
+            status, body = call(
+                base, "POST", "/v1/cluster",
+                {"action": "migrate",
+                 "params": {"session": "gw-mig", "worker": target}},
+            )
+            assert status == 200
+            assert body["migrated"] is True
+            assert dispatcher._sessions["gw-mig"] == target
+            c.close_session("gw-mig")
+
+    def test_post_bad_action_maps_to_503(self, base):
+        status, body = call(
+            base, "POST", "/v1/cluster", {"action": "no-such-action"}
+        )
+        assert status == 503
+        assert "unknown cluster action" in body["error"]["message"]
+
+    def test_metrics_have_labeled_worker_gauges(self, base, cluster):
+        with urllib.request.urlopen(base + "/metrics", timeout=10) as r:
+            text = r.read().decode()
+        assert "repro_cluster_workers 2" in text
+        for worker in cluster.dispatcher.shard_map.workers:
+            assert f'repro_cluster_worker_up{{worker="{worker}"}} 1' in text
+            assert f'repro_cluster_worker_shards{{worker="{worker}"}}' in text
+
+    def test_diagnostics_have_cluster_section(self, base):
+        status, body = call(base, "GET", "/v1/diagnostics")
+        assert status == 200
+        assert "registry" in body
+        assert len(body["cluster"]["workers"]) == 2
+
+    def test_dashboard_has_worker_panel(self, base):
+        with urllib.request.urlopen(base + "/", timeout=10) as response:
+            html = response.read().decode()
+        assert "cluster-panel" in html
+        assert "drawCluster" in html

@@ -1,0 +1,130 @@
+"""Properties of the cluster routing layer (hypothesis): every session
+id resolves to exactly one live worker, and topology changes move only
+the minimal ~1/N slice of the shard space — removal reassigns only the
+departed worker's shards, addition steals only the shards the newcomer
+wins."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import DEFAULT_SHARDS, ShardMap, shard_of
+from repro.errors import ClusterError
+
+worker_ids = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1,
+    max_size=12,
+)
+worker_sets = st.sets(worker_ids, min_size=1, max_size=8)
+session_ids = st.text(min_size=1, max_size=40)
+
+
+def build_map(workers, num_shards=DEFAULT_SHARDS):
+    shard_map = ShardMap(num_shards=num_shards)
+    for worker in sorted(workers):
+        shard_map.add_worker(worker)
+    return shard_map
+
+
+class TestExactlyOneOwner:
+    @settings(max_examples=100, deadline=None)
+    @given(workers=worker_sets, session=session_ids)
+    def test_every_session_has_exactly_one_owner(self, workers, session):
+        shard_map = build_map(workers)
+        owner = shard_map.owner_of(session)
+        assert owner in workers
+        # Deterministic: asking again, or asking a map built in a
+        # different insertion order, names the same worker.
+        assert shard_map.owner_of(session) == owner
+        reordered = ShardMap(num_shards=DEFAULT_SHARDS)
+        for worker in reversed(sorted(workers)):
+            reordered.add_worker(worker)
+        assert reordered.owner_of(session) == owner
+
+    @settings(max_examples=50, deadline=None)
+    @given(workers=worker_sets)
+    def test_shards_partition_exactly(self, workers):
+        """Every shard is owned by exactly one worker: the per-worker
+        shard lists are disjoint and cover the whole shard space."""
+        shard_map = build_map(workers)
+        seen = []
+        for worker in shard_map.workers:
+            seen.extend(shard_map.shards_of(worker))
+        assert sorted(seen) == list(range(shard_map.num_shards))
+        assert sum(shard_map.occupancy().values()) == shard_map.num_shards
+
+    @settings(max_examples=50, deadline=None)
+    @given(session=session_ids)
+    def test_shard_of_is_stable(self, session):
+        assert shard_of(session) == shard_of(session)
+        assert 0 <= shard_of(session) < DEFAULT_SHARDS
+
+
+class TestMinimalMovement:
+    @settings(max_examples=100, deadline=None)
+    @given(workers=worker_sets.filter(lambda w: len(w) >= 2))
+    def test_removal_moves_only_the_departed_workers_shards(self, workers):
+        shard_map = build_map(workers)
+        departing = sorted(workers)[0]
+        before = {
+            shard: shard_map.owner_of_shard(shard)
+            for shard in range(shard_map.num_shards)
+        }
+        shard_map.remove_worker(departing)
+        for shard, old_owner in before.items():
+            new_owner = shard_map.owner_of_shard(shard)
+            if old_owner == departing:
+                assert new_owner != departing
+            else:
+                # Shards the departed worker never owned do not move.
+                assert new_owner == old_owner
+
+    @settings(max_examples=100, deadline=None)
+    @given(workers=worker_sets, newcomer=worker_ids)
+    def test_addition_moves_only_shards_the_newcomer_wins(
+        self, workers, newcomer
+    ):
+        if newcomer in workers:
+            return
+        shard_map = build_map(workers)
+        before = {
+            shard: shard_map.owner_of_shard(shard)
+            for shard in range(shard_map.num_shards)
+        }
+        shard_map.add_worker(newcomer)
+        for shard, old_owner in before.items():
+            new_owner = shard_map.owner_of_shard(shard)
+            # Rendezvous hashing: a shard either stays put or goes to
+            # the newcomer; it never shuffles between incumbents.
+            assert new_owner in (old_owner, newcomer)
+
+    def test_addition_moves_roughly_one_nth(self):
+        """With many shards the moved fraction concentrates near 1/N:
+        growing a 4-worker map to 5 should move about 20% of 4096
+        shards — generously, between 10% and 35%."""
+        shard_map = build_map({"w0", "w1", "w2", "w3"}, num_shards=4096)
+        before = {
+            shard: shard_map.owner_of_shard(shard)
+            for shard in range(shard_map.num_shards)
+        }
+        shard_map.add_worker("w4")
+        moved = sum(
+            1
+            for shard, old_owner in before.items()
+            if shard_map.owner_of_shard(shard) != old_owner
+        )
+        assert 0.10 * 4096 <= moved <= 0.35 * 4096
+
+
+class TestTopologyRefusals:
+    def test_duplicate_add_and_missing_remove_are_cluster_errors(self):
+        shard_map = build_map({"w0"})
+        with pytest.raises(ClusterError):
+            shard_map.add_worker("w0")
+        with pytest.raises(ClusterError):
+            shard_map.remove_worker("ghost")
+
+    def test_empty_map_refuses_routing(self):
+        shard_map = ShardMap(num_shards=8)
+        with pytest.raises(ClusterError):
+            shard_map.owner_of("anything")

@@ -157,3 +157,100 @@ class TestConstruction:
             PhaseServiceClient(timeout=0)
         with pytest.raises(ConfigurationError):
             PhaseServiceClient(retries=-1)
+
+
+class TestConnectionResetRetry:
+    """A peer reset (ECONNRESET / EOF mid-read) on a *read-only* op is
+    the signature of a supervised restart or dispatcher failover: the
+    client grants one transparent reconnect beyond the configured
+    retries — even with retries=0 — while mutating ops still fail
+    fast and timeouts earn no bonus."""
+
+    @staticmethod
+    def _free_port():
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            return probe.getsockname()[1]
+
+    def test_readonly_op_rides_a_server_restart_with_zero_retries(self):
+        port = self._free_port()
+        first = start_in_thread(max_sessions=4, port=port)
+        client = PhaseServiceClient(
+            port=port, timeout=2.0, retries=0, backoff=0.01
+        )
+        assert client.ping()["protocol"] == 1
+        first.stop()
+        second = start_in_thread(max_sessions=4, port=port)
+        try:
+            # retries=0, yet the reset earns one bonus reconnect.
+            assert client.ping()["protocol"] == 1
+        finally:
+            client.close()
+            second.stop()
+
+    def test_reset_errors_are_tagged(self):
+        """A peer that accepts and then slams the connection shut is a
+        reset; a mutating op surfaces it immediately (no bonus), with
+        ``connection_reset`` set for callers who want to know."""
+        import threading
+
+        with socket.socket() as listener:
+            listener.bind(("127.0.0.1", 0))
+            listener.listen(1)
+
+            def slam_first_connection():
+                conn, _ = listener.accept()
+                conn.recv(65536)
+                conn.close()
+
+            thread = threading.Thread(
+                target=slam_first_connection, daemon=True
+            )
+            thread.start()
+            client = PhaseServiceClient(
+                port=listener.getsockname()[1], timeout=2.0, retries=0
+            )
+            with pytest.raises(ServiceTransportError) as excinfo:
+                client.observe("any", [4096], [10])
+            assert excinfo.value.connection_reset is True
+            client.close()
+            thread.join(2.0)
+
+    def test_refused_connect_is_not_a_reset(self):
+        client = PhaseServiceClient(
+            port=self._free_port(), timeout=0.5, retries=0
+        )
+        with pytest.raises(ServiceTransportError) as excinfo:
+            client.ping()
+        assert excinfo.value.connection_reset is False
+
+    def test_mutating_op_gets_no_bonus_reconnect(self):
+        port = self._free_port()
+        first = start_in_thread(max_sessions=4, port=port)
+        client = PhaseServiceClient(
+            port=port, timeout=2.0, retries=0, backoff=0.01
+        )
+        name = client.open_session(interval_instructions=1000)
+        first.stop()
+        second = start_in_thread(max_sessions=4, port=port)
+        try:
+            with pytest.raises(ServiceTransportError):
+                client.observe(name, [4096], [10])
+        finally:
+            client.close()
+            second.stop()
+
+    def test_timeout_is_not_a_reset(self):
+        """A silent server (connection up, no response) is a timeout —
+        the request may still be executing, so no reset tag and no
+        bonus replay."""
+        with socket.socket() as listener:
+            listener.bind(("127.0.0.1", 0))
+            listener.listen(1)               # accept queue, never reads
+            client = PhaseServiceClient(
+                port=listener.getsockname()[1], timeout=0.3, retries=0
+            )
+            with pytest.raises(ServiceTransportError) as excinfo:
+                client.ping()
+            assert excinfo.value.connection_reset is False
+            client.close()
