@@ -810,13 +810,109 @@ class TrackerPool:
             return []
         if np.any(counts < 0):
             raise ValueError("instruction counts must be non-negative")
+        cpis = np.full(slots.size, cpi, dtype=np.float64)
+        return [
+            (slot, report)
+            for _, slot, report in self._observe_records(
+                slots, pcs, counts, cpis
+            )
+        ]
 
+    def observe_fanin(
+        self,
+        segments: Sequence[Tuple[int, Sequence[int], Sequence[int], float]],
+    ) -> List[List[TrackerReport]]:
+        """Ingest per-session record slices in one fused pass.
+
+        ``segments`` is a sequence of ``(slot, pcs, counts, cpi)``
+        slices — one per caller request. All slices are concatenated
+        and driven through the same segmented boundary machinery as
+        :meth:`observe_batch`; each completed interval is attributed
+        the ``cpi`` of the segment whose record crossed the boundary,
+        exactly as per-segment scalar ``observe_batch(..., cpi=...)``
+        calls would. Returns one report list per segment, in the order
+        each segment's boundaries were crossed — byte-identical to
+        running the segments one at a time in order.
+
+        This is the service's cross-session ingest coalescing entry
+        point: many connections' queued observes become one batched
+        pool pass, with the reports fanned back per request.
+        """
+        if not segments:
+            return []
+        slot_parts: List[np.ndarray] = []
+        pc_parts: List[np.ndarray] = []
+        count_parts: List[np.ndarray] = []
+        cpi_parts: List[np.ndarray] = []
+        offsets = np.zeros(len(segments), dtype=np.int64)
+        total = 0
+        for index, (slot, pcs, counts, cpi) in enumerate(segments):
+            pcs = np.asarray(pcs, dtype=np.int64)
+            counts = np.asarray(counts, dtype=np.int64)
+            if pcs.shape != counts.shape or pcs.ndim != 1:
+                raise PredictionError(
+                    "segment pcs and counts must be parallel 1-D arrays: "
+                    f"{pcs.shape} vs {counts.shape}"
+                )
+            offsets[index] = total
+            total += pcs.size
+            if pcs.size == 0:
+                continue
+            slot_parts.append(
+                np.full(pcs.size, np.int64(slot), dtype=np.int64)
+            )
+            pc_parts.append(pcs)
+            count_parts.append(counts)
+            cpi_parts.append(np.full(pcs.size, cpi, dtype=np.float64))
+        reports: List[List[TrackerReport]] = [[] for _ in segments]
+        if total == 0:
+            return reports
+        slots = np.concatenate(slot_parts)
+        pcs_all = np.concatenate(pc_parts)
+        counts_all = np.concatenate(count_parts)
+        cpis_all = np.concatenate(cpi_parts)
+        self._check_slots(slots)
+        if np.any(self._boundary_pending[slots]):
+            raise PredictionError(
+                "interval boundary reached; call complete_interval(cpi) "
+                "before observing more branches"
+            )
+        if np.any(counts_all < 0):
+            raise ValueError("instruction counts must be non-negative")
+        for position, _, report in self._observe_records(
+            slots, pcs_all, counts_all, cpis_all
+        ):
+            # The owning segment is the last one starting at or before
+            # the crossing record (empty segments share offsets but can
+            # never own a record).
+            segment = int(
+                np.searchsorted(offsets, position, side="right")
+            ) - 1
+            reports[segment].append(report)
+        return reports
+
+    def _observe_records(
+        self,
+        slots: np.ndarray,
+        pcs: np.ndarray,
+        counts: np.ndarray,
+        cpis: np.ndarray,
+    ) -> List[Tuple[int, int, TrackerReport]]:
+        """The segmented multi-session ingest rounds shared by
+        :meth:`observe_batch` and :meth:`observe_fanin`.
+
+        ``cpis`` is per-record; a completed interval is attributed the
+        CPI of the record that crossed the boundary. Returns
+        ``(position, slot, report)`` boundary events ordered by the
+        crossing record's position in the input arrays.
+        """
         # Stable sort groups records per slot while preserving each
         # slot's record order (and lets every round reduce per group).
         order = np.argsort(slots, kind="stable")
         s_slots = slots[order]
         s_pcs = pcs[order]
         s_counts = counts[order]
+        s_cpis = cpis[order]
         total_records = s_slots.size
         uniq, starts = np.unique(s_slots, return_index=True)
         ends = np.append(starts[1:], total_records)
@@ -872,8 +968,7 @@ class TrackerPool:
                 b_slots = uniq[b_groups]
                 self._boundary_pending[b_slots] = True
                 reports = self._complete(
-                    b_slots,
-                    np.full(b_slots.size, cpi, dtype=np.float64),
+                    b_slots, s_cpis[take_end[crossing]]
                 )
                 crossing_records = order[take_end[crossing]]
                 for position, slot, report in zip(
@@ -889,7 +984,7 @@ class TrackerPool:
             active = cursor < ends
 
         boundary_events.sort(key=lambda event: event[0])
-        return [(slot, report) for _, slot, report in boundary_events]
+        return boundary_events
 
     def complete_interval(self, slot: int, cpi: float) -> TrackerReport:
         """Close one slot's current interval (facade support)."""

@@ -316,6 +316,18 @@ def _serve_main(argv: List[str]) -> int:
         "back to scalar trackers (default: no pool)",
     )
     parser.add_argument(
+        "--coalesce", action=argparse.BooleanOptionalAction,
+        default=False,
+        help="micro-batch queued observes across connections into "
+        "fused SoA pool rounds (most effective with --pool-slots); "
+        "--no-coalesce is the explicit per-session reference path",
+    )
+    parser.add_argument(
+        "--coalesce-window", type=float, default=0.0, metavar="SECONDS",
+        help="extra gather delay per coalescing round (default 0: "
+        "batch only what is already queued, adding no latency)",
+    )
+    parser.add_argument(
         "--max-connections", type=int, default=64,
         help="concurrent client-connection cap (default 64)",
     )
@@ -402,6 +414,8 @@ def _serve_main(argv: List[str]) -> int:
         port=args.port,
         max_sessions=args.max_sessions,
         pool_slots=args.pool_slots,
+        coalesce=args.coalesce,
+        coalesce_window=args.coalesce_window,
         idle_ttl=args.idle_ttl,
         evict_lru=not args.no_evict,
         max_connections=args.max_connections,
@@ -499,6 +513,8 @@ def _serve_cluster(args) -> int:
         http_port=args.http_port,
         worker_max_sessions=args.max_sessions,
         pool_slots=args.pool_slots,
+        coalesce=args.coalesce,
+        coalesce_window=args.coalesce_window,
         sync=args.sync,
         checkpoint_interval=args.checkpoint_interval,
         idle_ttl=args.idle_ttl,

@@ -220,7 +220,11 @@ class HttpGateway:
         """Run a protocol request through the service; returns
         ``(result, interval_reports)``. Error responses raise
         :class:`HttpError` with the mapped status."""
-        payloads = self.service._execute(request)
+        return self._unwrap(self.service._execute(request))
+
+    def _unwrap(
+        self, payloads: List[dict]
+    ) -> Tuple[dict, List[dict]]:
         response = payloads[-1]
         reports = [
             payload["report"] for payload in payloads[:-1]
@@ -342,9 +346,14 @@ class HttpGateway:
         cpi = body.get("cpi", 1.0)
         if not isinstance(cpi, (int, float)) or isinstance(cpi, bool):
             raise HttpError(400, "'cpi' must be a number")
-        result, reports = self._execute(protocol.ObserveRequest(
-            id=0, session=session, pcs=pcs, counts=counts,
-            cpi=float(cpi),
+        # Observes join the service's coalescing rounds (when enabled)
+        # so the gateway's ingest shares the fused pool pass with the
+        # NDJSON wire path.
+        result, reports = self._unwrap(await self.service.execute_observe(
+            protocol.ObserveRequest(
+                id=0, session=session, pcs=pcs, counts=counts,
+                cpi=float(cpi),
+            )
         ))
         payload = dict(result)
         payload["reports"] = reports

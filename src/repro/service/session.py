@@ -478,6 +478,26 @@ class SessionRegistry:
         ):
             self._free_trackers.append(session.tracker)
 
+    def pool_slot(self, session: Session) -> Optional[int]:
+        """The pool slot backing ``session``, or ``None``.
+
+        ``None`` means the scalar fallback path owns the session: no
+        pool, a foreign-config scalar tracker, or a stale handle (the
+        slot was released under the facade, e.g. by a mid-round
+        eviction). The ingest coalescer uses this to decide which
+        sessions join the fused structure-of-arrays pass.
+        """
+        tracker = session.tracker
+        if self.pool is None or not isinstance(tracker, PooledTracker):
+            return None
+        if tracker.pool is not self.pool:
+            return None
+        try:
+            tracker._check()
+        except PoolError:
+            return None
+        return tracker.slot
+
     # -- inspection -----------------------------------------------------------
 
     def sessions(self) -> List[Session]:

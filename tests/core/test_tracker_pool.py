@@ -419,3 +419,121 @@ class TestPoolTelemetry:
         assert pool._m_batch is None
         slot = pool.allocate()
         pool.observe_batch([slot], [0x40], [10])  # must not raise
+
+
+class TestObserveFanin:
+    """The coalescing fan-in entry point: many per-session slices, one
+    fused pass, reports attributed back to the owning segment — and
+    the pool state byte-identical to running the slices sequentially."""
+
+    @staticmethod
+    def segment_stream(seed, trackers, segments, max_records=12):
+        """Random per-request slices: (tracker_index, pcs, counts, cpi),
+        several per tracker, each with its own cpi."""
+        rng = np.random.default_rng(seed)
+        out = []
+        for index in range(segments):
+            tracker = int(rng.integers(0, trackers))
+            size = int(rng.integers(0, max_records + 1))
+            pcs = (
+                (tracker * 256 + rng.integers(0, 12, size=size)) * 4
+                + 0x4000
+            )
+            counts = rng.integers(0, 400, size=size)
+            cpi = float(1.0 + 0.25 * (index % 5))
+            out.append((tracker, pcs, counts, cpi))
+        return out
+
+    @pytest.mark.parametrize("config", CONFIGS)
+    def test_fanin_matches_sequential_observe_batch(self, config):
+        trackers = 5
+        fused = TrackerPool(capacity=trackers, config=config)
+        oracle = TrackerPool(capacity=trackers, config=config)
+        fused_handles = [
+            fused.acquire(interval_instructions=INTERVAL)
+            for _ in range(trackers)
+        ]
+        oracle_handles = [
+            oracle.acquire(interval_instructions=INTERVAL)
+            for _ in range(trackers)
+        ]
+        crossings = 0
+        for round_index in range(30):
+            stream = self.segment_stream(
+                round_index, trackers, segments=16
+            )
+            segments = [
+                (fused_handles[tracker].slot, pcs, counts, cpi)
+                for tracker, pcs, counts, cpi in stream
+            ]
+            fanned = fused.observe_fanin(segments)
+            assert len(fanned) == len(segments)
+            for (tracker, pcs, counts, cpi), reports in zip(
+                stream, fanned
+            ):
+                expected = oracle_handles[tracker].observe_batch(
+                    pcs, counts, cpi=cpi
+                )
+                assert reports == expected
+                crossings += len(reports)
+        assert crossings > 0  # the stream actually crossed boundaries
+        for fused_handle, oracle_handle in zip(
+            fused_handles, oracle_handles
+        ):
+            assert json.dumps(
+                fused_handle.export_state(), sort_keys=True
+            ) == json.dumps(oracle_handle.export_state(), sort_keys=True)
+
+    def test_empty_segment_owns_no_reports(self):
+        config = ClassifierConfig.paper_default()
+        pool = TrackerPool(capacity=2, config=config)
+        a = pool.allocate(interval_instructions=100)
+        b = pool.allocate(interval_instructions=100)
+        # The empty slice sits between two crossing slices that share
+        # its concatenation offset; attribution must skip it.
+        fanned = pool.observe_fanin([
+            (a, [0x40], [150], 1.5),
+            (b, [], [], 9.0),
+            (b, [0x44], [150], 2.5),
+        ])
+        assert [len(reports) for reports in fanned] == [1, 0, 1]
+        oracle_a = PhaseTracker(config, interval_instructions=100)
+        oracle_b = PhaseTracker(config, interval_instructions=100)
+        assert fanned[0] == oracle_a.observe_batch([0x40], [150], cpi=1.5)
+        assert fanned[2] == oracle_b.observe_batch([0x44], [150], cpi=2.5)
+
+    def test_repeated_slot_slices_apply_in_order(self):
+        config = ClassifierConfig.paper_default()
+        pool = TrackerPool(capacity=1, config=config)
+        oracle = PhaseTracker(config, interval_instructions=100)
+        slot = pool.allocate(interval_instructions=100)
+        fanned = pool.observe_fanin([
+            (slot, [0x40, 0x44], [60, 30], 1.25),
+            (slot, [0x48], [80], 3.0),   # crosses here with cpi=3.0
+            (slot, [0x4C], [140], 0.5),  # crosses again with cpi=0.5
+        ])
+        expected = [
+            oracle.observe_batch([0x40, 0x44], [60, 30], cpi=1.25),
+            oracle.observe_batch([0x48], [80], cpi=3.0),
+            oracle.observe_batch([0x4C], [140], cpi=0.5),
+        ]
+        assert fanned == expected
+        assert [len(reports) for reports in fanned] == [0, 1, 1]
+        # The per-segment cpis landed in the pool's interval history
+        # exactly as sequential scalar calls would record them.
+        assert json.dumps(
+            pool.export_slot(slot), sort_keys=True
+        ) == json.dumps(oracle.export_state(), sort_keys=True)
+
+    def test_empty_call_and_validation(self):
+        config = ClassifierConfig.paper_default()
+        pool = TrackerPool(capacity=1, config=config)
+        slot = pool.allocate(interval_instructions=100)
+        assert pool.observe_fanin([]) == []
+        assert pool.observe_fanin([(slot, [], [], 1.0)]) == [[]]
+        with pytest.raises(PredictionError):
+            pool.observe_fanin([(slot, [0x40], [1, 2], 1.0)])
+        with pytest.raises(ValueError):
+            pool.observe_fanin([(slot, [0x40], [-1], 1.0)])
+        with pytest.raises(PoolError):
+            pool.observe_fanin([(slot + 1, [0x40], [1], 1.0)])

@@ -1,0 +1,260 @@
+"""Cross-session ingest coalescing: the coalesced wire path must be
+byte-identical to the per-session reference path — including pool +
+persistence + mid-stream evict/hydrate churn and foreign-config
+fallbacks mixed into rounds — and protocol ordering (pushes before
+acks, responses in request order) must hold under interleaved
+multi-connection load."""
+
+import json
+import socket
+
+import numpy as np
+import pytest
+
+from repro.service.server import start_in_thread
+
+BASE = 0x40000
+
+
+def observe_plan(seed, observes, records=60, spread=24):
+    """Deterministic per-session observe payloads: (pcs, counts, cpi)."""
+    rng = np.random.default_rng(seed)
+    out = []
+    for index in range(observes):
+        base = BASE + (0x9000 if (index // 5) % 2 else 0)
+        pcs = (base + rng.integers(0, spread, size=records) * 4).tolist()
+        counts = rng.integers(10, 60, size=records).tolist()
+        out.append((pcs, counts, 1.0 + 0.2 * (index % 4)))
+    return out
+
+
+def connection_requests(session, seed, observes, config=None):
+    """The full pipelined request list for one connection."""
+    requests = [{
+        "op": "open", "id": 1, "session": session,
+        "interval_instructions": 2_000,
+    }]
+    if config is not None:
+        requests[0]["config"] = config
+    for index, (pcs, counts, cpi) in enumerate(
+        observe_plan(seed, observes)
+    ):
+        requests.append({
+            "op": "observe", "id": 2 + index, "session": session,
+            "pcs": pcs, "counts": counts, "cpi": cpi,
+        })
+    requests.append({
+        "op": "close", "id": 2 + observes, "session": session,
+    })
+    return requests
+
+
+def drive(port, plans):
+    """Pipeline each plan's requests down its own connection — all
+    connections' writes land before any reads, so the server sees
+    genuinely interleaved multi-connection load — then read each
+    stream until every request is answered. Returns the raw response
+    bytes per connection (the byte-identity unit)."""
+    socks = []
+    for requests in plans:
+        sock = socket.create_connection(("127.0.0.1", port), timeout=30)
+        payload = b"".join(
+            json.dumps(request).encode() + b"\n" for request in requests
+        )
+        sock.sendall(payload)
+        socks.append(sock)
+    streams = []
+    for sock, requests in zip(socks, plans):
+        reader = sock.makefile("rb")
+        lines = []
+        answered = 0
+        while answered < len(requests):
+            line = reader.readline()
+            assert line, "connection closed before all responses"
+            lines.append(line)
+            if "id" in json.loads(line):
+                answered += 1
+        reader.close()
+        sock.close()
+        streams.append(b"".join(lines))
+    return streams
+
+
+def run_workload(plans, **service_kwargs):
+    handle = start_in_thread(**service_kwargs)
+    try:
+        streams = drive(handle.port, plans)
+        coalescer = handle.service._coalescer
+        stats = coalescer.stats() if coalescer is not None else None
+    finally:
+        handle.stop()
+    return streams, stats
+
+
+FOREIGN_CONFIG = {"num_counters": 8, "table_entries": 16}
+
+
+class TestByteIdentity:
+    def compare(self, plans, extra_on=None, **kwargs):
+        on_kwargs = dict(kwargs, coalesce=True, **(extra_on or {}))
+        coalesced, stats = run_workload(plans, **on_kwargs)
+        reference, _ = run_workload(plans, coalesce=False, **kwargs)
+        assert coalesced == reference
+        assert stats["requests"] == sum(
+            1 for plan in plans for request in plan
+            if request["op"] == "observe"
+        )
+        assert stats["rounds"] >= 1
+        return stats
+
+    def test_pooled_sessions_match_reference(self, tmp_path):
+        plans = [
+            connection_requests(f"s{index}", seed=index, observes=12)
+            for index in range(6)
+        ]
+        # A gather window makes multi-request rounds certain, proving
+        # the fused path (not single-submission rounds) is what
+        # matched the reference.
+        stats = self.compare(
+            plans,
+            extra_on={"coalesce_window": 0.05},
+            max_sessions=16, pool_slots=16,
+        )
+        assert stats["max_round_size"] > 1
+
+    def test_persistence_evict_hydrate_churn(self, tmp_path):
+        # 8 sessions through a 3-session table: every round mixes
+        # hydrations and evict-to-disk with the fused pass, including
+        # sessions whose pool slot disappears mid-round. Each run gets
+        # its own data directory so recovery doesn't cross runs.
+        plans = [
+            connection_requests(f"d{index}", seed=10 + index, observes=10)
+            for index in range(8)
+        ]
+        coalesced, _ = run_workload(
+            plans, coalesce=True,
+            max_sessions=3, pool_slots=3,
+            data_dir=str(tmp_path / "on"),
+        )
+        reference, _ = run_workload(
+            plans, coalesce=False,
+            max_sessions=3, pool_slots=3,
+            data_dir=str(tmp_path / "off"),
+        )
+        assert coalesced == reference
+
+    def test_foreign_config_fallback_mixed_into_rounds(self):
+        # Odd sessions carry a non-default config, so they get scalar
+        # trackers (no pool slot) and must take the per-session path
+        # inside coalesced rounds — byte-identically.
+        plans = [
+            connection_requests(
+                f"m{index}", seed=20 + index, observes=10,
+                config=FOREIGN_CONFIG if index % 2 else None,
+            )
+            for index in range(6)
+        ]
+        self.compare(plans, max_sessions=8, pool_slots=8)
+
+    def test_no_pool_still_matches(self):
+        # coalesce without --pool-slots: every session falls back, the
+        # scheduler is pure overhead but must stay correct.
+        plans = [
+            connection_requests(f"n{index}", seed=30 + index, observes=6)
+            for index in range(3)
+        ]
+        self.compare(plans, max_sessions=4)
+
+
+class TestOrdering:
+    def test_pushes_precede_acks_in_request_order(self):
+        plans = [
+            connection_requests(f"o{index}", seed=40 + index, observes=12)
+            for index in range(5)
+        ]
+        handle = start_in_thread(
+            max_sessions=8, pool_slots=8,
+            coalesce=True, coalesce_window=0.05,
+        )
+        try:
+            streams = drive(handle.port, plans)
+        finally:
+            handle.stop()
+        for stream, plan in zip(streams, plans):
+            session = plan[0]["session"]
+            op_by_id = {request["id"]: request["op"] for request in plan}
+            expected_ids = [request["id"] for request in plan]
+            seen_ids = []
+            pushes_since_ack = 0
+            for line in stream.splitlines():
+                message = json.loads(line)
+                if "push" in message:
+                    assert message["push"] == "interval"
+                    assert message["session"] == session
+                    pushes_since_ack += 1
+                    continue
+                seen_ids.append(message["id"])
+                assert message["ok"] is True
+                if op_by_id[message["id"]] == "observe":
+                    # An observe's pushes all precede its ack, and the
+                    # ack counts exactly those pushes.
+                    assert (
+                        message["result"]["intervals"] == pushes_since_ack
+                    )
+                else:
+                    # open/close acks never have stray pushes pending.
+                    assert pushes_since_ack == 0
+                pushes_since_ack = 0
+            assert seen_ids == expected_ids
+
+    def test_non_observe_requests_are_barriers(self):
+        # A snapshot pipelined mid-stream must observe all earlier
+        # ingest: its tracker state equals the uncoalesced run's.
+        session = "barrier"
+        plan = connection_requests(session, seed=50, observes=8)
+        snapshot_request = {
+            "op": "snapshot", "id": 100, "session": session,
+        }
+        plan = plan[:5] + [snapshot_request] + plan[5:]
+        results = []
+        for coalesce in (True, False):
+            handle = start_in_thread(
+                max_sessions=4, pool_slots=4, coalesce=coalesce,
+            )
+            try:
+                (stream,) = drive(handle.port, [plan])
+            finally:
+                handle.stop()
+            snapshot = next(
+                json.loads(line)
+                for line in stream.splitlines()
+                if json.loads(line).get("id") == 100
+            )
+            assert snapshot["ok"] is True
+            results.append(snapshot["result"])
+        assert results[0] == results[1]
+
+
+class TestDiagnostics:
+    def test_coalesce_section_reports_scheduler_stats(self):
+        plans = [connection_requests("diag", seed=60, observes=5)]
+        handle = start_in_thread(
+            max_sessions=4, pool_slots=4, coalesce=True,
+        )
+        try:
+            drive(handle.port, plans)
+            diagnostics = handle.service.diagnostics()
+        finally:
+            handle.stop()
+        section = diagnostics["coalesce"]
+        assert section["enabled"] is True
+        assert section["requests"] == 5
+        assert section["rounds"] >= 1
+        assert section["pending"] == 0
+
+    def test_disabled_service_has_no_section(self):
+        handle = start_in_thread(max_sessions=4)
+        try:
+            assert "coalesce" not in handle.service.diagnostics()
+        finally:
+            handle.stop()
